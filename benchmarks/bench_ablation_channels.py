@@ -1,0 +1,81 @@
+"""Ablation (§II-B) — flash channel parallelism and access patterns.
+
+A flash card's aggregate bandwidth exists only across its parallel NAND
+channels; sequential striped access reaches it, fine-grained random access
+collapses to one channel's share plus a full access latency per operation —
+the paper's "bandwidth reduced effectively by a factor of 2048" example is
+the extreme of this effect.  This ablation characterizes the simulated
+device exactly like a storage paper would: effective bandwidth vs access
+pattern vs channel count.
+"""
+
+from repro.flash.device import FlashDevice, FlashGeometry
+from repro.perf.clock import SimClock
+from repro.perf.profiles import GRAFBOOST
+from repro.perf.report import emit_results, format_table
+
+PAGE = 8192
+PAGES_PER_BLOCK = 16
+NUM_BLOCKS = 512
+TOTAL_PAGES = 2048  # 16 MB moved per measurement
+
+
+def make_filled_device(channels):
+    geometry = FlashGeometry(PAGE, PAGES_PER_BLOCK, NUM_BLOCKS,
+                             channels=channels)
+    device = FlashDevice(geometry, GRAFBOOST, SimClock())
+    for block in range(NUM_BLOCKS):
+        for page in range(PAGES_PER_BLOCK):
+            device._write_silent(block, page, b"d" * PAGE)
+    return device
+
+
+def effective_bandwidth(device, addresses, batched):
+    start = device.clock.elapsed_s
+    if batched:
+        device.read_pages(addresses)
+    else:
+        for block, page in addresses:
+            device.read_page(block, page)
+    elapsed = device.clock.elapsed_s - start
+    return len(addresses) * PAGE / elapsed / 2 ** 20  # MiB/s
+
+
+def run_characterization():
+    rows = []
+    sequential = [(i // PAGES_PER_BLOCK, i % PAGES_PER_BLOCK)
+                  for i in range(TOTAL_PAGES)]
+    import random
+
+    rng = random.Random(3)
+    scattered = sequential[:]
+    rng.shuffle(scattered)
+    for channels in (1, 2, 4, 8):
+        seq_bw = effective_bandwidth(make_filled_device(channels),
+                                     sequential, batched=True)
+        rand_bw = effective_bandwidth(make_filled_device(channels),
+                                      scattered[:256], batched=False)
+        rows.append([channels, f"{seq_bw:.0f} MiB/s", f"{rand_bw:.0f} MiB/s",
+                     f"{seq_bw / rand_bw:.1f}x", seq_bw, rand_bw])
+    return rows
+
+
+def test_channel_characterization(benchmark):
+    rows = benchmark.pedantic(run_characterization, rounds=1, iterations=1)
+    table = format_table(
+        ["channels", "sequential (batched)", "random (single-page)",
+         "seq/rand"],
+        [row[:4] for row in rows],
+        title="Ablation: effective flash bandwidth vs access pattern "
+              "(GraFBoost card constants)")
+    emit_results("ablation_channels", table)
+    seq = [row[4] for row in rows]
+    rand = [row[5] for row in rows]
+    # Sequential striped bandwidth is channel-count independent (the
+    # aggregate), random single-page bandwidth degrades with channel count
+    # (one channel's share each).
+    assert max(seq) / min(seq) < 1.2
+    assert rand[0] > rand[-1]
+    # Random access is always far below sequential.
+    for s, r in zip(seq, rand):
+        assert s > 2 * r

@@ -1,0 +1,72 @@
+"""Ablation (§IV-E/F) — merge fan-out.
+
+The design uses 16-to-1 mergers.  Lower fan-out means more merge levels
+(each rewriting the surviving data to flash); very high fan-out needs more
+merger state.  This ablation sweeps the fan-out on the same workload and
+reports merge levels and flash traffic — the knee that justifies 16.
+"""
+
+import numpy as np
+
+from repro.core.accelerator import SoftwareBackend
+from repro.core.external import ExternalSortReducer
+from repro.core.kvstream import KVArray
+from repro.core.reduce_ops import SUM
+from repro.engine.config import make_system
+from repro.perf.report import emit_results, format_table, human_bytes
+
+SCALE = 2.0 ** -14
+FANOUTS = [2, 4, 8, 16]
+PAIRS = 400_000
+KEY_RANGE = 60_000
+
+
+def run_sweep():
+    rng = np.random.default_rng(5)
+    keys = rng.integers(0, KEY_RANGE, PAIRS).astype(np.uint64)
+    values = rng.random(PAIRS)
+    rows = []
+    reference = None
+    for fanout in FANOUTS:
+        system = make_system("grafsoft", SCALE)
+        reducer = ExternalSortReducer(
+            system.store, SUM, np.float64, system.backend,
+            chunk_bytes=system.chunk_bytes, fanout=fanout,
+            name_prefix=f"fanout{fanout}")
+        reducer.add(KVArray(keys, values))
+        run = reducer.finish()
+        out = run.read_all()
+        if reference is None:
+            reference = out
+        else:
+            assert np.array_equal(out.keys, reference.keys)
+            assert np.allclose(out.values, reference.values)
+        levels = max(p.phase for p in reducer.stats.phases)
+        rows.append([
+            fanout,
+            levels,
+            human_bytes(system.clock.bytes_moved("flash")),
+            f"{system.clock.elapsed_s * 1000:.2f} ms",
+            system.clock.bytes_moved("flash"),
+            system.clock.elapsed_s,
+        ])
+    return rows
+
+
+def test_fanout_sweep(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["fanout", "merge levels", "flash traffic", "simulated time"],
+        [row[:4] for row in rows],
+        title=(f"Ablation: merge fan-out, {PAIRS:,} pairs over "
+               f"{KEY_RANGE:,} keys"))
+    emit_results("ablation_fanout", table)
+    levels = [row[1] for row in rows]
+    traffic = [row[4] for row in rows]
+    # More fan-out, fewer levels; fewer levels, less rewritten data.
+    assert levels == sorted(levels, reverse=True)
+    assert traffic[0] > traffic[-1]
+    # Diminishing returns: the 2 -> 4 win dwarfs the 8 -> 16 win.
+    win_low = traffic[0] - traffic[1]
+    win_high = traffic[2] - traffic[3]
+    assert win_low > win_high

@@ -1,0 +1,88 @@
+"""Ablation (Fig 1, §V-C.5) — interleaved reduction vs sort-then-reduce.
+
+The paper's Fig 1 contrasts (a) completely sorting before applying updates
+with (b) interleaving sorting and reduction.  This ablation runs the same
+update list through both strategies and measures the data volume every
+merge phase must move — the "Removed Overhead" of Fig 1b.
+"""
+
+import numpy as np
+
+from repro.algorithms.pagerank import run_pagerank
+from repro.core.inmemory import sort_only_in_memory, sort_reduce_in_memory
+from repro.core.kvstream import KVArray
+from repro.core.reduce_ops import SUM
+from repro.engine.config import make_system
+from repro.harness import load_dataset
+from repro.perf.report import emit_results, format_table
+
+SCALE = 2.0 ** -14
+DATASET = "twitter"
+
+
+def intermediate_list(graph) -> KVArray:
+    """The all-active PageRank update list (destination, contribution)."""
+    src, dst = graph.edge_list()
+    degrees = graph.out_degrees().astype(np.float64)
+    values = (1.0 / graph.num_vertices) / degrees[src.astype(np.int64)]
+    return KVArray(dst, values)
+
+
+def run_ablation():
+    graph = load_dataset(DATASET, SCALE)
+    updates = intermediate_list(graph)
+    chunk_records = 4096
+
+    interleaved_moved = 0
+    plain_moved = 0
+    interleaved_runs = []
+    plain_runs = []
+    for start in range(0, len(updates), chunk_records):
+        chunk = updates.slice(start, min(len(updates), start + chunk_records))
+        reduced = sort_reduce_in_memory(chunk, SUM)
+        interleaved_runs.append(reduced)
+        interleaved_moved += reduced.nbytes
+        plain_runs.append(sort_only_in_memory(chunk))
+        plain_moved += chunk.nbytes
+
+    # One 16-way merge level over the runs (reduction only in one variant).
+    def merge_level(runs, reduce_after):
+        nonlocal interleaved_moved, plain_moved
+        merged = []
+        for i in range(0, len(runs), 16):
+            group = KVArray.concat(runs[i:i + 16]).sorted()
+            if reduce_after:
+                group = SUM.reduce_sorted(group)
+            merged.append(group)
+        return merged
+
+    while len(interleaved_runs) > 1:
+        interleaved_runs = merge_level(interleaved_runs, reduce_after=True)
+        interleaved_moved += sum(r.nbytes for r in interleaved_runs)
+    while len(plain_runs) > 1:
+        plain_runs = merge_level(plain_runs, reduce_after=False)
+        plain_moved += sum(r.nbytes for r in plain_runs)
+    # The plain variant still reduces once at the very end (Fig 1a's final
+    # "update" stage) — after having moved the full unreduced list through
+    # every phase.
+    final_plain = SUM.reduce_sorted(plain_runs[0])
+    assert np.array_equal(final_plain.keys, interleaved_runs[0].keys)
+    assert np.allclose(final_plain.values, interleaved_runs[0].values)
+    return interleaved_moved, plain_moved, len(updates)
+
+
+def test_interleaving_reduces_data_movement(benchmark):
+    interleaved, plain, pairs = benchmark.pedantic(run_ablation, rounds=1,
+                                                   iterations=1)
+    saving = 1 - interleaved / plain
+    table = format_table(
+        ["strategy", "bytes moved", "relative"],
+        [["sort, reduce at the end (Fig 1a)", f"{plain:,}", "1.00"],
+         ["interleaved sort-reduce (Fig 1b)", f"{interleaved:,}",
+          f"{interleaved / plain:.2f}"]],
+        title=(f"Ablation: interleaving reduction with sorting on {DATASET} "
+               f"({pairs:,} update pairs) — saving {saving:.0%}"))
+    emit_results("ablation_interleave", table)
+    # §V-C.5: interleaving eliminates the bulk of the data movement on
+    # real-world-shaped graphs (>80% reduced before the first write).
+    assert saving > 0.6

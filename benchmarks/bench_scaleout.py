@@ -1,0 +1,66 @@
+"""§VI (future work) — horizontal scaling across storage devices.
+
+"GraFBoost can easily be scaled horizontally simply by plugging in more
+accelerated storage devices into the host server.  The intermediate update
+list can be transparently partitioned across devices."
+
+This bench partitions the same sort-reduce workload across 1, 2, 4 and 8
+simulated GraFBoost devices and reports the wall time (devices operate
+concurrently; the slowest partition decides).
+"""
+
+import numpy as np
+
+from repro.core.kvstream import KVArray
+from repro.core.reduce_ops import SUM
+from repro.core.scaleout import PartitionedSortReducer
+from repro.engine.config import make_system
+from repro.perf.report import emit_results, format_table
+
+SCALE = 2.0 ** -14
+KEY_SPACE = 200_000
+PAIRS = 1_000_000
+DEVICE_COUNTS = [1, 2, 4, 8]
+
+
+def run_sweep():
+    rng = np.random.default_rng(11)
+    updates = KVArray(rng.integers(0, KEY_SPACE, PAIRS).astype(np.uint64),
+                      rng.integers(1, 4, PAIRS).astype(np.float64))
+    rows = []
+    reference = None
+    baseline_time = None
+    for count in DEVICE_COUNTS:
+        systems = [make_system("grafboost", SCALE, num_vertices_hint=KEY_SPACE)
+                   for _ in range(count)]
+        reducer = PartitionedSortReducer(
+            [(s.store, s.backend) for s in systems], SUM, np.float64,
+            KEY_SPACE, chunk_bytes=systems[0].chunk_bytes)
+        for start in range(0, PAIRS, 1 << 17):
+            reducer.add(updates.slice(start, min(PAIRS, start + (1 << 17))))
+        result = reducer.finish()
+        out = result.read_all()
+        if reference is None:
+            reference = out
+            baseline_time = reducer.elapsed_s
+        else:
+            assert np.array_equal(out.keys, reference.keys)
+            assert np.allclose(out.values, reference.values)
+        rows.append([count, f"{reducer.elapsed_s * 1000:.2f} ms",
+                     f"{baseline_time / reducer.elapsed_s:.2f}x",
+                     reducer.elapsed_s])
+    return rows
+
+
+def test_scaleout_near_linear(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["devices", "wall time", "speedup"],
+        [row[:3] for row in rows],
+        title=(f"Scale-out: sort-reducing {PAIRS:,} updates across N "
+               "GraFBoost devices (§VI)"))
+    emit_results("scaleout", table)
+    times = [row[3] for row in rows]
+    # Monotone speedup, and at least 3x by eight devices.
+    assert all(a > b for a, b in zip(times, times[1:]))
+    assert times[0] / times[-1] > 3.0

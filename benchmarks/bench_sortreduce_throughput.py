@@ -1,0 +1,75 @@
+"""§V-C.3 — sort-reduce component throughput calibration points.
+
+The paper gives exact numbers for the pieces of the sort-reduce pipeline:
+
+* hardware in-memory sort of a 512 MB chunk: "slightly over 0.5s"
+  (GraFBoost) and "a bit more than 0.25s" (GraFBoost2);
+* the accelerator emits one 256-bit packed tuple per cycle at 125 MHz
+  (4 GB/s), almost saturating the on-board DRAM;
+* each software 16-to-1 merge-reducer emits up to 800 MB/s, with up to four
+  instances.
+
+This bench regenerates those numbers from the cost model and also measures
+the *functional* numpy engine's real wall-clock throughput (the honest
+pytest-benchmark numbers of this reproduction).
+"""
+
+import numpy as np
+
+from repro.core.accelerator import AcceleratorBackend, SoftwareBackend
+from repro.core.inmemory import sort_reduce_in_memory
+from repro.core.kvstream import KVArray
+from repro.core.merger import merge_reduce_arrays
+from repro.core.reduce_ops import SUM
+from repro.perf.profiles import GRAFBOOST, GRAFBOOST2, GRAFSOFT, MB
+from repro.perf.report import emit_results, format_table
+
+
+def model_rows():
+    hardware = AcceleratorBackend(GRAFBOOST)
+    hardware2 = AcceleratorBackend(GRAFBOOST2)
+    software = SoftwareBackend(GRAFSOFT)
+    return [
+        ["GraFBoost 512MB chunk sort", f"{hardware.chunk_sort_seconds(512 * MB):.3f} s",
+         "~0.5 s"],
+        ["GraFBoost2 512MB chunk sort", f"{hardware2.chunk_sort_seconds(512 * MB):.3f} s",
+         "~0.25 s"],
+        ["accelerator line rate", f"{hardware.profile.accel_bw / 2**30:.1f} GB/s",
+         "4 GB/s @ 125 MHz"],
+        ["software 16-to-1 merger", f"{software.merger_rate(1) / 2**20:.0f} MB/s",
+         "800 MB/s"],
+        ["software mergers x4", f"{software.merger_rate(4) / 2**20:.0f} MB/s",
+         "3200 MB/s"],
+        ["GraFSoft ingest pipeline", f"{software.chunk_sort_seconds(512 * MB):.3f} s/512MB",
+         "500 MB/s (Table II)"],
+    ]
+
+
+def test_model_throughput_matches_paper(benchmark):
+    rows = benchmark.pedantic(model_rows, rounds=1, iterations=1)
+    table = format_table(["component", "model", "paper"], rows,
+                         title="Sort-reduce throughput calibration (§V-C.3)")
+    emit_results("sortreduce_throughput", table)
+    hardware = AcceleratorBackend(GRAFBOOST)
+    assert 0.4 <= hardware.chunk_sort_seconds(512 * MB) <= 0.65
+    assert 0.2 <= AcceleratorBackend(GRAFBOOST2).chunk_sort_seconds(512 * MB) <= 0.35
+
+
+def _random_run(n: int, key_range: int, seed: int) -> KVArray:
+    rng = np.random.default_rng(seed)
+    return KVArray(rng.integers(0, key_range, n).astype(np.uint64),
+                   rng.random(n))
+
+
+def test_functional_inmemory_sort_reduce(benchmark):
+    """Real wall-clock throughput of the numpy in-memory sort-reduce."""
+    run = _random_run(1 << 20, 1 << 17, seed=0)
+    result = benchmark(sort_reduce_in_memory, run, SUM)
+    assert result.is_strictly_sorted()
+
+
+def test_functional_merge_reduce(benchmark):
+    """Real wall-clock throughput of a 16-way in-memory merge-reduce."""
+    runs = [_random_run(1 << 16, 1 << 17, seed=i).sorted() for i in range(16)]
+    result = benchmark(merge_reduce_arrays, runs, SUM)
+    assert result.is_strictly_sorted()

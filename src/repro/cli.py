@@ -1,0 +1,212 @@
+"""Command-line interface: run workloads and comparisons without writing code.
+
+Usage (installed as ``python -m repro``)::
+
+    python -m repro datasets
+    python -m repro profiles
+    python -m repro run --system GraFBoost --algorithm bfs --dataset kron28
+    python -m repro compare --dataset wdc --algorithms pagerank,bfs \\
+        --systems GraFBoost,GraFSoft,FlashGraph,X-Stream
+
+``run`` executes one (system, algorithm, dataset) cell and prints the
+metrics the paper reports; ``compare`` prints a figure-style matrix with
+times normalized to GraFSoft.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.graph.datasets import DATASETS, DEFAULT_SCALE
+from repro.harness import (
+    ALGORITHMS,
+    BASELINE_SYSTEMS,
+    GRAFBOOST_FAMILY,
+    load_dataset,
+    results_by,
+    run_cell,
+    run_matrix,
+)
+from repro.perf.profiles import (
+    GRAFBOOST,
+    GRAFBOOST2,
+    GRAFSOFT,
+    SERVER_SSD_ARRAY,
+    SINGLE_SSD_SERVER,
+)
+from repro.perf.report import (
+    format_table,
+    human_bytes,
+    human_seconds,
+    superstep_timeline,
+)
+
+ALL_SYSTEMS = list(GRAFBOOST_FAMILY) + list(BASELINE_SYSTEMS)
+
+
+def _parse_scale(text: str) -> float:
+    value = float(text)
+    if not 0 < value <= 1:
+        raise argparse.ArgumentTypeError(f"scale must be in (0, 1], got {text}")
+    return value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GraFBoost reproduction: external graph analytics "
+                    "on (simulated) accelerated flash storage.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    datasets = sub.add_parser("datasets", help="list the Table I datasets")
+    datasets.add_argument("--scale", type=_parse_scale, default=DEFAULT_SCALE)
+
+    sub.add_parser("profiles", help="list the hardware profiles (§V platforms)")
+
+    run = sub.add_parser("run", help="run one system on one algorithm")
+    run.add_argument("--system", choices=ALL_SYSTEMS, default="GraFBoost")
+    run.add_argument("--algorithm", choices=list(ALGORITHMS), default="bfs")
+    run.add_argument("--dataset", choices=sorted(DATASETS), default="kron28")
+    run.add_argument("--scale", type=_parse_scale, default=DEFAULT_SCALE)
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--timeline", action="store_true",
+                     help="print the per-superstep breakdown")
+
+    compare = sub.add_parser("compare", help="run a figure-style matrix")
+    compare.add_argument("--dataset", choices=sorted(DATASETS), default="kron28")
+    compare.add_argument("--systems", default="GraFBoost,GraFBoost2,GraFSoft")
+    compare.add_argument("--algorithms", default="pagerank,bfs")
+    compare.add_argument("--scale", type=_parse_scale, default=DEFAULT_SCALE)
+    compare.add_argument("--seed", type=int, default=1)
+    return parser
+
+
+def cmd_datasets(args) -> int:
+    rows = []
+    for name, dataset in DATASETS.items():
+        rows.append([
+            name,
+            f"{dataset.paper_nodes:,}",
+            f"{dataset.paper_edges:,}",
+            dataset.paper_edgefactor,
+            f"{dataset.scaled_nodes(args.scale):,}",
+            f"{dataset.scaled_edges(args.scale):,}",
+        ])
+    print(format_table(
+        ["name", "paper nodes", "paper edges", "edgefactor",
+         f"nodes @{args.scale:g}", f"edges @{args.scale:g}"],
+        rows, title="Table I datasets"))
+    return 0
+
+
+def cmd_profiles(_args) -> int:
+    rows = []
+    for profile in (GRAFBOOST, GRAFBOOST2, GRAFSOFT, SERVER_SSD_ARRAY,
+                    SINGLE_SSD_SERVER):
+        rows.append([
+            profile.name,
+            human_bytes(profile.dram_capacity),
+            f"{profile.flash_read_bw / 2**30:.1f}/{profile.flash_write_bw / 2**30:.1f} GB/s",
+            profile.cpu_threads,
+            "yes" if profile.has_accelerator else "no",
+        ])
+    print(format_table(
+        ["profile", "DRAM", "flash r/w", "threads", "accelerator"],
+        rows, title="Hardware profiles (§V platforms)"))
+    return 0
+
+
+def cmd_run(args) -> int:
+    graph = load_dataset(args.dataset, args.scale, seed=args.seed)
+    print(f"{args.dataset} @ scale {args.scale:g}: "
+          f"{graph.num_vertices:,} vertices, {graph.num_edges:,} edges")
+    if args.timeline and args.system in GRAFBOOST_FAMILY:
+        return _run_with_timeline(args, graph)
+    cell = run_cell(args.system, graph, args.algorithm, scale=args.scale,
+                    dataset=args.dataset)
+    if not cell.completed:
+        print(f"{args.system} {args.algorithm}: DNF — {cell.dnf_reason}")
+        return 1
+    print(format_table(["metric", "value"], [
+        ["system", cell.system],
+        ["algorithm", cell.algorithm],
+        ["simulated time", human_seconds(cell.elapsed_s)],
+        ["supersteps", cell.supersteps],
+        ["traversed edges", f"{cell.traversed_edges:,}"],
+        ["MTEPS", f"{cell.mteps:.2f}"],
+        ["flash traffic", human_bytes(cell.flash_bytes)],
+        ["peak memory", human_bytes(cell.memory_bytes)],
+    ]))
+    return 0
+
+
+def _run_with_timeline(args, graph) -> int:
+    """Engine run with the per-superstep breakdown (engines only)."""
+    from repro.algorithms.bfs import run_bfs
+    from repro.algorithms.pagerank import run_pagerank
+    from repro.algorithms.bc import run_betweenness_centrality
+    from repro.engine.config import make_system
+    from repro.harness import default_root
+
+    system = make_system(args.system.lower(), args.scale,
+                         num_vertices_hint=graph.num_vertices)
+    flash_graph = system.load_graph(graph)
+    engine = system.engine_for(flash_graph, graph.num_vertices)
+    if args.algorithm == "pagerank":
+        result = run_pagerank(engine, graph.num_vertices, 1)
+        steps = result.supersteps
+    elif args.algorithm == "bfs":
+        result = run_bfs(engine, default_root(graph))
+        steps = result.supersteps
+    else:
+        result = run_betweenness_centrality(engine, default_root(graph))
+        steps = result.forward.supersteps
+    print(superstep_timeline(steps))
+    print(f"total simulated time: {human_seconds(result.elapsed_s)}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    systems = [s.strip() for s in args.systems.split(",") if s.strip()]
+    algorithms = [a.strip() for a in args.algorithms.split(",") if a.strip()]
+    unknown = [s for s in systems if s not in ALL_SYSTEMS]
+    if unknown:
+        print(f"unknown systems: {', '.join(unknown)} "
+              f"(known: {', '.join(ALL_SYSTEMS)})", file=sys.stderr)
+        return 2
+    unknown = [a for a in algorithms if a not in ALGORITHMS]
+    if unknown:
+        print(f"unknown algorithms: {', '.join(unknown)} "
+              f"(known: {', '.join(ALGORITHMS)})", file=sys.stderr)
+        return 2
+    results = run_matrix(systems, algorithms, args.dataset, scale=args.scale,
+                         seed=args.seed)
+    rows = []
+    for algorithm in algorithms:
+        by_system = results_by(results, algorithm)
+        row = [algorithm]
+        for system in systems:
+            cell = by_system[system]
+            row.append(f"{cell.elapsed_s * 1000:.2f} ms" if cell.completed
+                       else "DNF")
+        rows.append(row)
+    print(format_table(["algorithm"] + systems, rows,
+                       title=f"{args.dataset} @ scale {args.scale:g} "
+                             "(simulated time; lower is faster)"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "datasets": cmd_datasets,
+        "profiles": cmd_profiles,
+        "run": cmd_run,
+        "compare": cmd_compare,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

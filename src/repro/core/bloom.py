@@ -1,0 +1,86 @@
+"""Bloom filter for custom active-list generation (Algorithm 4).
+
+PageRank's active list is not a subset of ``newV`` — it is the set of
+vertices with an edge *into* ``newV`` — so Algorithm 4 marks those sources
+in a bloom filter while scanning ``newV``'s in-edges, then sweeps the key
+space testing membership.  The paper notes the filter can live inside the
+accelerator; here it is a numpy bit array with splitmix64-derived hashes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """The splitmix64 finalizer: a cheap, well-mixed 64-bit hash."""
+    x = (x + np.uint64(0x9E3779B97F4A7C15)).astype(np.uint64)
+    x ^= x >> np.uint64(30)
+    x = (x * np.uint64(0xBF58476D1CE4E5B9)).astype(np.uint64)
+    x ^= x >> np.uint64(27)
+    x = (x * np.uint64(0x94D049BB133111EB)).astype(np.uint64)
+    x ^= x >> np.uint64(31)
+    return x
+
+
+class BloomFilter:
+    """A fixed-size bloom filter over uint64 keys with vectorized ops."""
+
+    def __init__(self, num_bits: int, num_hashes: int = 3):
+        if num_bits < 8:
+            raise ValueError(f"num_bits must be >= 8, got {num_bits}")
+        if num_hashes < 1:
+            raise ValueError(f"num_hashes must be >= 1, got {num_hashes}")
+        self.num_bits = int(num_bits)
+        self.num_hashes = num_hashes
+        self._bits = np.zeros((self.num_bits + 7) // 8, dtype=np.uint8)
+
+    @staticmethod
+    def for_expected_items(n: int, false_positive_rate: float = 0.01) -> "BloomFilter":
+        """Size the filter for ``n`` items at the target false-positive rate."""
+        if n < 1:
+            raise ValueError(f"expected item count must be >= 1, got {n}")
+        if not 0 < false_positive_rate < 1:
+            raise ValueError(f"false_positive_rate must be in (0, 1), got {false_positive_rate}")
+        bits = int(-n * np.log(false_positive_rate) / (np.log(2) ** 2)) + 8
+        hashes = max(1, round(bits / n * np.log(2)))
+        return BloomFilter(bits, hashes)
+
+    @property
+    def nbytes(self) -> int:
+        return self._bits.nbytes
+
+    def _positions(self, keys: np.ndarray) -> np.ndarray:
+        """(num_hashes, len(keys)) bit positions."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        out = np.empty((self.num_hashes, len(keys)), dtype=np.int64)
+        for i in range(self.num_hashes):
+            seed = (i * 0x5851F42D4C957F2D) & 0xFFFFFFFFFFFFFFFF
+            h = _splitmix64(keys + np.uint64(seed))
+            out[i] = (h % np.uint64(self.num_bits)).astype(np.int64)
+        return out
+
+    def add(self, keys: np.ndarray) -> None:
+        """Insert a batch of keys."""
+        if len(keys) == 0:
+            return
+        pos = self._positions(keys).ravel()
+        np.bitwise_or.at(self._bits, pos >> 3, (1 << (pos & 7)).astype(np.uint8))
+
+    def contains(self, keys: np.ndarray) -> np.ndarray:
+        """Membership mask for a batch of keys (no false negatives)."""
+        if len(keys) == 0:
+            return np.zeros(0, dtype=bool)
+        pos = self._positions(keys)
+        hit = np.ones(len(keys), dtype=bool)
+        for i in range(self.num_hashes):
+            p = pos[i]
+            hit &= (self._bits[p >> 3] >> (p & 7).astype(np.uint8)) & 1 == 1
+        return hit
+
+    def fill_ratio(self) -> float:
+        """Fraction of bits set (saturation indicator)."""
+        return float(np.unpackbits(self._bits).sum()) / (len(self._bits) * 8)
+
+    def clear(self) -> None:
+        self._bits[:] = 0

@@ -1,0 +1,313 @@
+"""External sort-reduce over flash files (§III-B, §IV-E.2, §IV-F).
+
+The full pipeline of Fig 10:
+
+1. **Chunk phase** — unsorted update pairs stream in (from the edge program)
+   and accumulate in a DRAM buffer.  Each full chunk (512 MB in the paper)
+   is sort-reduced *in memory* and written to flash as one sorted run.
+   Because the reduction happens before the write, the heavy-duplication
+   graphs shed 80–90% of their data before flash sees any of it (Fig 14).
+2. **Merge phases** — up to ``fanout`` (16) sorted runs at a time are
+   stream-merged with the reduction interleaved, producing a new sorted run,
+   until a single run remains.
+
+The functional work is shared between backends; the active backend
+(:mod:`repro.core.accelerator`) decides what the sorting and merging *cost*.
+Flash traffic charges itself through the file store.  Per-phase pair counts
+are recorded in :class:`SortReduceStats` — the data behind Fig 14.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.inmemory import sort_reduce_in_memory
+from repro.core.kvstream import KVArray, record_dtype
+from repro.core.merger import StreamingMergeReducer
+from repro.core.reduce_ops import ReduceOp
+
+_run_counter = itertools.count()
+
+#: I/O transfer unit for merge-phase reads, matching the software
+#: implementation's "large 4 MB chunks" (§IV-F).
+MERGE_IO_BYTES = 4 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class PhaseStat:
+    """Pair counts of one sort-reduce phase (phase 0 = in-memory chunk sort)."""
+
+    phase: int
+    pairs_in: int
+    pairs_out: int
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of pairs eliminated by the interleaved reduction."""
+        if self.pairs_in == 0:
+            return 0.0
+        return 1.0 - self.pairs_out / self.pairs_in
+
+
+class SortReduceStats:
+    """Accumulates per-phase reduction statistics across one sort-reduce."""
+
+    def __init__(self) -> None:
+        self.phases: list[PhaseStat] = []
+        self.total_input_pairs = 0
+
+    def record(self, phase: int, pairs_in: int, pairs_out: int) -> None:
+        for i, existing in enumerate(self.phases):
+            if existing.phase == phase:
+                self.phases[i] = PhaseStat(
+                    phase, existing.pairs_in + pairs_in, existing.pairs_out + pairs_out
+                )
+                return
+        self.phases.append(PhaseStat(phase, pairs_in, pairs_out))
+
+    def written_fractions(self) -> list[float]:
+        """Fig 14's series: data written to storage after each phase, as a
+        fraction of what would be written had reduction not been applied
+        (i.e. the original intermediate-list size)."""
+        if self.total_input_pairs == 0:
+            return []
+        return [p.pairs_out / self.total_input_pairs for p in sorted(self.phases, key=lambda p: p.phase)]
+
+    @property
+    def final_pairs(self) -> int:
+        if not self.phases:
+            return 0
+        return sorted(self.phases, key=lambda p: p.phase)[-1].pairs_out
+
+
+class RunHandle:
+    """A sealed, sorted, reduced run file living in a flash file store.
+
+    ``level`` counts how many merge phases produced it (0 = straight from
+    an in-memory chunk sort).
+    """
+
+    def __init__(self, store, name: str, num_records: int, value_dtype: np.dtype,
+                 level: int = 0, seq: int = 0):
+        self.store = store
+        self.name = name
+        self.num_records = num_records
+        self.value_dtype = np.dtype(value_dtype)
+        self.level = level
+        # Age of the oldest data in the run; merges order their sources by
+        # this so non-commutative reductions (FIRST/LAST) stay correct.
+        self.seq = seq
+
+    def __len__(self) -> int:
+        return self.num_records
+
+    @property
+    def record_bytes(self) -> int:
+        return record_dtype(self.value_dtype).itemsize
+
+    @property
+    def nbytes(self) -> int:
+        return self.num_records * self.record_bytes
+
+    def read_all(self) -> KVArray:
+        """Load the entire run (small runs / tests / result collection)."""
+        if self.num_records == 0:
+            return KVArray.empty(self.value_dtype)
+        raw = self.store.read(self.name, 0, self.nbytes)
+        return KVArray.from_bytes(raw, self.value_dtype)
+
+    def chunks(self, io_bytes: int = MERGE_IO_BYTES) -> Iterator[KVArray]:
+        """Stream the run in record-aligned chunks of roughly ``io_bytes``."""
+        rec = self.record_bytes
+        per_chunk = max(1, io_bytes // rec)
+        offset = 0
+        while offset < self.num_records:
+            n = min(per_chunk, self.num_records - offset)
+            raw = self.store.read(self.name, offset * rec, n * rec)
+            yield KVArray.from_bytes(raw, self.value_dtype)
+            offset += n
+
+    def delete(self) -> None:
+        if self.num_records and self.store.exists(self.name):
+            self.store.delete(self.name)
+
+
+class ExternalSortReducer:
+    """Sort-reduces an unbounded stream of update pairs using bounded DRAM.
+
+    Feed pairs with :meth:`add`; call :meth:`finish` to obtain the single
+    sorted+reduced :class:`RunHandle`.  ``chunk_bytes`` is the DRAM sort
+    buffer (the paper's 512 MB), registered against ``memory`` if given.
+    """
+
+    def __init__(self, store, op: ReduceOp, value_dtype: np.dtype, backend,
+                 chunk_bytes: int, fanout: int = 16, name_prefix: str = "sortreduce",
+                 memory=None):
+        if chunk_bytes < 1024:
+            raise ValueError(f"chunk_bytes unreasonably small: {chunk_bytes}")
+        self.store = store
+        self.op = op
+        self.value_dtype = np.dtype(value_dtype)
+        self.backend = backend
+        self.chunk_bytes = chunk_bytes
+        self.fanout = fanout
+        self.name_prefix = f"{name_prefix}-{next(_run_counter)}"
+        self.memory = memory
+        self.stats = SortReduceStats()
+        self._buffer: list[KVArray] = []
+        self._buffered_bytes = 0
+        self._runs: list[RunHandle] = []
+        self._run_counter = 0
+        self._finished = False
+        if memory is not None:
+            memory.allocate(self._mem_label, chunk_bytes)
+
+    @property
+    def _mem_label(self) -> str:
+        return f"{self.name_prefix}:chunk-buffer"
+
+    @property
+    def clock(self):
+        return self.store.device.clock
+
+    # ------------------------------------------------------------------ input
+
+    def add(self, kv: KVArray) -> None:
+        """Append unsorted update pairs to the stream."""
+        if self._finished:
+            raise RuntimeError("add() after finish()")
+        if kv.value_dtype != self.value_dtype:
+            raise ValueError(f"value dtype {kv.value_dtype} != {self.value_dtype}")
+        if len(kv) == 0:
+            return
+        self._buffer.append(kv)
+        self._buffered_bytes += kv.nbytes
+        self.stats.total_input_pairs += len(kv)
+        while self._buffered_bytes >= self.chunk_bytes:
+            self._flush_chunk()
+
+    def _take_chunk(self) -> KVArray:
+        """Detach exactly one chunk's worth of buffered pairs."""
+        take: list[KVArray] = []
+        taken = 0
+        while self._buffer and taken < self.chunk_bytes:
+            head = self._buffer[0]
+            remaining = self.chunk_bytes - taken
+            if head.nbytes <= remaining:
+                take.append(self._buffer.pop(0))
+                taken += head.nbytes
+            else:
+                n = max(1, remaining // head.record_bytes)
+                take.append(head.slice(0, n))
+                self._buffer[0] = head.slice(n, len(head))
+                taken += n * head.record_bytes
+        self._buffered_bytes -= taken
+        return KVArray.concat(take)
+
+    def _flush_chunk(self) -> None:
+        chunk = self._take_chunk()
+        reduced = sort_reduce_in_memory(chunk, self.op)
+        self.backend.charge_chunk_sort(self.clock, chunk.nbytes)
+        self.stats.record(0, len(chunk), len(reduced))
+        self._write_run(reduced)
+        self._merge_full_levels()
+
+
+    def _write_run(self, run: KVArray) -> None:
+        name = f"{self.name_prefix}:run-{self._run_counter}"
+        self._run_counter += 1
+        self.store.append(name, run.to_bytes())
+        self.store.seal(name)
+        self._runs.append(RunHandle(self.store, name, len(run), self.value_dtype,
+                                    level=0, seq=self._run_counter - 1))
+
+    def _merge_full_levels(self) -> None:
+        """Merge eagerly whenever a level fills up with ``fanout`` runs.
+
+        This is how the paper's pipeline behaves — "this process is repeated
+        until the full dataset has been sorted" (§IV-E.1) — and it bounds
+        the number of coexisting run files to ``fanout`` per level instead
+        of letting thousands of chunk-sized runs pile up on flash.
+        """
+        while True:
+            by_level: dict[int, list[RunHandle]] = {}
+            for run in self._runs:
+                by_level.setdefault(run.level, []).append(run)
+            full = [lvl for lvl, runs in by_level.items() if len(runs) >= self.fanout]
+            if not full:
+                return
+            level = min(full)
+            # Level merges overlap with ongoing chunk production; the
+            # software implementation spawns up to four 16-to-1 mergers.
+            self._merge_group(by_level[level][:self.fanout], concurrency=4)
+
+    # ----------------------------------------------------------------- output
+
+    def finish(self) -> RunHandle:
+        """Flush the tail chunk and merge all runs down to one."""
+        if self._finished:
+            raise RuntimeError("finish() called twice")
+        self._finished = True
+        try:
+            if self._buffer:
+                self._flush_chunk()
+            if not self._runs:
+                return RunHandle(self.store, f"{self.name_prefix}:empty", 0, self.value_dtype)
+            while len(self._runs) > 1:
+                self._runs.sort(key=lambda r: r.level)
+                # The last merge is done by a single merger instance — "all
+                # chunks need to be merged into one by a single merger"
+                # (§IV-F); earlier merges pipeline several instances.
+                final = len(self._runs) <= self.fanout
+                self._merge_group(self._runs[:self.fanout],
+                                  concurrency=1 if final else 4)
+            return self._runs[0]
+        finally:
+            if self.memory is not None:
+                self.memory.free(self._mem_label)
+
+    def _merge_group(self, group: list[RunHandle], concurrency: int = 1) -> None:
+        """Stream-merge one group of runs into a single higher-level run."""
+        group = sorted(group, key=lambda r: r.seq)  # oldest data first
+        phase = max(r.level for r in group) + 1
+        out_name = f"{self.name_prefix}:run-{self._run_counter}"
+        self._run_counter += 1
+        out_records = 0
+
+        def sink(kv: KVArray) -> None:
+            nonlocal out_records
+            self.store.append(out_name, kv.to_bytes())
+            out_records += len(kv)
+
+        merger = StreamingMergeReducer(self.op, self.value_dtype, fanout=self.fanout)
+        pairs_in, pairs_out = merger.merge([r.chunks() for r in group], sink)
+        if pairs_out:
+            self.store.seal(out_name)
+        handle = RunHandle(self.store, out_name, out_records, self.value_dtype,
+                           level=phase, seq=min(r.seq for r in group))
+        rec = handle.record_bytes
+        self.backend.charge_merge_level(self.clock, pairs_in * rec, pairs_out * rec,
+                                        groups=concurrency)
+        self.stats.record(phase, pairs_in, pairs_out)
+        for run in group:
+            run.delete()
+        self._runs = [r for r in self._runs if r not in group]
+        self._runs.append(handle)
+
+
+def sort_reduce_stream(chunks: Iterator[KVArray], store, op: ReduceOp,
+                       value_dtype: np.dtype, backend, chunk_bytes: int,
+                       fanout: int = 16, name_prefix: str = "sortreduce",
+                       memory=None) -> tuple[RunHandle, SortReduceStats]:
+    """One-shot convenience: sort-reduce a stream of unsorted KV chunks."""
+    reducer = ExternalSortReducer(
+        store, op, value_dtype, backend, chunk_bytes,
+        fanout=fanout, name_prefix=name_prefix, memory=memory,
+    )
+    for chunk in chunks:
+        reducer.add(chunk)
+    return reducer.finish(), reducer.stats

@@ -1,0 +1,138 @@
+"""Columnar key-value runs: the unit of data sort-reduce operates on.
+
+A :class:`KVArray` is a pair of aligned numpy arrays — ``uint64`` keys and a
+caller-chosen value dtype — with helpers for sorting, slicing, serialization
+to/from flash bytes, and invariant checks.  Everything in the sort-reduce
+pipeline (intermediate update lists, sorted runs, ``newV`` results, vertex
+overlays) is a ``KVArray`` or a file full of its serialized records.
+
+Records are serialized interleaved (``key, value, key, value, …``) exactly as
+the paper streams them between pipeline stages, so a run file can be read
+back in arbitrary record-aligned chunks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+KEY_DTYPE = np.dtype("<u8")
+
+
+class KVArray:
+    """An aligned (keys, values) pair; may be sorted or unsorted.
+
+    The constructor validates alignment; use :meth:`empty` for a typed empty
+    run and :meth:`from_pairs` for literals in tests.
+    """
+
+    __slots__ = ("keys", "values")
+
+    def __init__(self, keys: np.ndarray, values: np.ndarray):
+        keys = np.asarray(keys)
+        values = np.asarray(values)
+        if keys.ndim != 1 or values.ndim != 1:
+            raise ValueError("keys and values must be one-dimensional")
+        if len(keys) != len(values):
+            raise ValueError(f"length mismatch: {len(keys)} keys vs {len(values)} values")
+        if keys.dtype != KEY_DTYPE:
+            keys = keys.astype(KEY_DTYPE)
+        self.keys = keys
+        self.values = values
+
+    # -------------------------------------------------------------- factories
+
+    @staticmethod
+    def empty(value_dtype: np.dtype) -> "KVArray":
+        return KVArray(np.empty(0, KEY_DTYPE), np.empty(0, np.dtype(value_dtype)))
+
+    @staticmethod
+    def from_pairs(pairs: list[tuple[int, object]], value_dtype: np.dtype) -> "KVArray":
+        """Build from a list of (key, value) tuples (test/demo convenience)."""
+        if not pairs:
+            return KVArray.empty(value_dtype)
+        keys = np.array([k for k, _ in pairs], dtype=KEY_DTYPE)
+        values = np.array([v for _, v in pairs], dtype=np.dtype(value_dtype))
+        return KVArray(keys, values)
+
+    # -------------------------------------------------------------- properties
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    @property
+    def value_dtype(self) -> np.dtype:
+        return self.values.dtype
+
+    @property
+    def record_bytes(self) -> int:
+        """Serialized size of one (key, value) record."""
+        return KEY_DTYPE.itemsize + self.values.dtype.itemsize
+
+    @property
+    def nbytes(self) -> int:
+        """Serialized size of the whole run."""
+        return len(self) * self.record_bytes
+
+    def record_dtype(self) -> np.dtype:
+        return record_dtype(self.values.dtype)
+
+    def is_sorted(self) -> bool:
+        if len(self.keys) < 2:
+            return True
+        return bool(np.all(self.keys[:-1] <= self.keys[1:]))
+
+    def is_strictly_sorted(self) -> bool:
+        """Sorted with no duplicate keys — the post-reduction invariant."""
+        if len(self.keys) < 2:
+            return True
+        return bool(np.all(self.keys[:-1] < self.keys[1:]))
+
+    # ------------------------------------------------------------- operations
+
+    def sorted(self) -> "KVArray":
+        """Stable sort by key; ties keep arrival order (FIRST/LAST correctness)."""
+        order = np.argsort(self.keys, kind="stable")
+        return KVArray(self.keys[order], self.values[order])
+
+    def slice(self, start: int, stop: int) -> "KVArray":
+        return KVArray(self.keys[start:stop], self.values[start:stop])
+
+    def take(self, mask_or_index: np.ndarray) -> "KVArray":
+        return KVArray(self.keys[mask_or_index], self.values[mask_or_index])
+
+    @staticmethod
+    def concat(runs: list["KVArray"]) -> "KVArray":
+        """Concatenate preserving order (run order matters for FIRST/LAST)."""
+        runs = [r for r in runs if len(r)]
+        if not runs:
+            raise ValueError("concat of zero non-empty runs needs a value dtype; use KVArray.empty")
+        return KVArray(
+            np.concatenate([r.keys for r in runs]),
+            np.concatenate([r.values for r in runs]),
+        )
+
+    # ----------------------------------------------------------- serialization
+
+    def to_bytes(self) -> bytes:
+        """Interleaved (key, value) records, little-endian."""
+        rec = np.empty(len(self), dtype=self.record_dtype())
+        rec["k"] = self.keys
+        rec["v"] = self.values
+        return rec.tobytes()
+
+    @staticmethod
+    def from_bytes(data: bytes, value_dtype: np.dtype) -> "KVArray":
+        rec = np.frombuffer(data, dtype=record_dtype(value_dtype))
+        return KVArray(rec["k"].copy(), rec["v"].copy())
+
+    def __repr__(self) -> str:
+        preview = ", ".join(
+            f"({int(k)}, {v})" for k, v in zip(self.keys[:4], self.values[:4])
+        )
+        suffix = ", …" if len(self) > 4 else ""
+        return f"KVArray(n={len(self)}, vdtype={self.values.dtype}, [{preview}{suffix}])"
+
+
+def record_dtype(value_dtype: np.dtype) -> np.dtype:
+    """The serialized record layout for a given value dtype."""
+    return np.dtype([("k", KEY_DTYPE), ("v", np.dtype(value_dtype))])

@@ -1,0 +1,165 @@
+"""Streaming k-way merge-reduce of sorted runs (§IV-E.2, §IV-F).
+
+The hardware implements this as a tree of bitonic tuple mergers fed from
+flash through DRAM buffers; the software version is a tree of 2-to-1 merger
+threads.  Functionally both compute the same thing: a single sorted run in
+which duplicate keys have been collapsed through the reduction operator
+*during* the merge — never materializing the unreduced merge result.
+
+:class:`StreamingMergeReducer` is the functional engine used by both
+backends.  It consumes chunk iterators (so whole runs never need to be
+memory-resident), tracks a safe emission boundary so that a key group is
+only reduced once all of its members have arrived, and reports pair counts
+for the Fig 14 reduction statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.core.kvstream import KVArray
+from repro.core.reduce_ops import ReduceOp
+
+
+def merge_reduce_arrays(runs: list[KVArray], op: ReduceOp) -> KVArray:
+    """Merge-reduce fully in-memory runs.
+
+    Because our sorts are stable, concatenating in run order and stable
+    sorting is equivalent to an order-preserving k-way merge, so FIRST/LAST
+    see values in (run order, position order) — the same order a hardware
+    merge tree would present them.
+    """
+    runs = [r for r in runs if len(r)]
+    if not runs:
+        raise ValueError("merge_reduce_arrays needs at least one non-empty run")
+    for i, r in enumerate(runs):
+        if not r.is_sorted():
+            raise ValueError(f"input run {i} is not sorted")
+    return op.reduce_sorted(KVArray.concat(runs).sorted())
+
+
+class _SourceState:
+    """Buffer and lifecycle of one input run during a streaming merge."""
+
+    __slots__ = ("chunks", "buffer", "exhausted")
+
+    def __init__(self, chunks: Iterator[KVArray], value_dtype: np.dtype):
+        self.chunks = iter(chunks)
+        self.buffer = KVArray.empty(value_dtype)
+        self.exhausted = False
+
+    def pull(self) -> bool:
+        """Fetch the next chunk into the buffer; False if the run ended."""
+        if self.exhausted:
+            return False
+        for chunk in self.chunks:
+            if len(chunk) == 0:
+                continue
+            if len(self.buffer):
+                if chunk.keys[0] < self.buffer.keys[-1]:
+                    raise ValueError("run chunks are not globally sorted")
+                self.buffer = KVArray.concat([self.buffer, chunk])
+            else:
+                self.buffer = chunk
+            return True
+        self.exhausted = True
+        return False
+
+    @property
+    def last_key(self) -> int:
+        return int(self.buffer.keys[-1])
+
+
+class StreamingMergeReducer:
+    """Merges k chunk-streams of sorted runs into one reduced output stream.
+
+    ``fanout`` only caps how many sources one instance accepts — callers
+    build multi-level merges (as external sort-reduce does) when they have
+    more runs than the fan-in of one merger, exactly like the hardware's
+    16-to-1 tree.
+    """
+
+    def __init__(self, op: ReduceOp, value_dtype: np.dtype, fanout: int = 16,
+                 refill_records: int = 65536):
+        if fanout < 2:
+            raise ValueError(f"fanout must be >= 2, got {fanout}")
+        if refill_records < 1:
+            raise ValueError(f"refill_records must be >= 1, got {refill_records}")
+        self.op = op
+        self.value_dtype = np.dtype(value_dtype)
+        self.fanout = fanout
+        self.refill_records = refill_records
+        self.pairs_in = 0
+        self.pairs_out = 0
+
+    def merge(self, sources: list[Iterator[KVArray]],
+              sink: Callable[[KVArray], None]) -> tuple[int, int]:
+        """Run the merge; returns (pairs consumed, pairs emitted)."""
+        if not sources:
+            raise ValueError("merge needs at least one source")
+        if len(sources) > self.fanout:
+            raise ValueError(f"{len(sources)} sources exceed fanout {self.fanout}")
+        states = [_SourceState(src, self.value_dtype) for src in sources]
+        pairs_in_start, pairs_out_start = self.pairs_in, self.pairs_out
+
+        while True:
+            self._refill(states)
+            live = [s for s in states if not s.exhausted]
+            pending = [s for s in states if len(s.buffer)]
+            if not pending:
+                break
+            if not live:
+                self._emit([s.buffer for s in pending], sink)
+                for s in pending:
+                    s.buffer = KVArray.empty(self.value_dtype)
+                break
+            boundary = min(s.last_key for s in live)
+            cut_parts, made_progress = self._cut(states, boundary)
+            if made_progress:
+                self._emit(cut_parts, sink)
+            else:
+                # Every buffered key of the boundary source equals the
+                # boundary (a giant duplicate group): pull more data from the
+                # sources pinning the boundary until one moves past it.
+                self._extend_past(live, boundary)
+        return self.pairs_in - pairs_in_start, self.pairs_out - pairs_out_start
+
+    # ---------------------------------------------------------------- helpers
+
+    def _refill(self, states: list[_SourceState]) -> None:
+        for s in states:
+            while not s.exhausted and len(s.buffer) < self.refill_records:
+                if not s.pull():
+                    break
+
+    def _cut(self, states: list[_SourceState], boundary: int) -> tuple[list[KVArray], bool]:
+        """Split off the per-source prefixes with keys strictly below the
+        boundary — those groups can never receive more members."""
+        parts: list[KVArray] = []
+        progress = False
+        for s in states:
+            if not len(s.buffer):
+                continue
+            cut = int(np.searchsorted(s.buffer.keys, boundary, side="left"))
+            if cut == 0:
+                continue
+            parts.append(s.buffer.slice(0, cut))
+            s.buffer = s.buffer.slice(cut, len(s.buffer))
+            progress = True
+        return parts, progress
+
+    def _extend_past(self, live: list[_SourceState], boundary: int) -> None:
+        for s in live:
+            if s.last_key == boundary:
+                s.pull()
+
+    def _emit(self, parts: list[KVArray], sink: Callable[[KVArray], None]) -> None:
+        parts = [p for p in parts if len(p)]
+        if not parts:
+            return
+        merged = self.op.reduce_sorted(KVArray.concat(parts).sorted())
+        self.pairs_in += sum(len(p) for p in parts)
+        self.pairs_out += len(merged)
+        sink(merged)

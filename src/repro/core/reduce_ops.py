@@ -1,0 +1,118 @@
+"""Associative reduction operators for sort-reduce.
+
+Sort-reduce requires the update function to be *binary associative*
+(§III-A): ``f(f(v1, v2), v3) == f(v1, f(v2, v3))``.  That lets any two
+entries with matching keys be merged early, at any merge level, without
+changing the final result.
+
+A :class:`ReduceOp` bundles a numpy ufunc fast path (``reduceat`` over group
+boundaries) with a name and an optional scalar fallback.  The operators the
+paper's algorithms use:
+
+* ``SUM`` — PageRank's vertex_update and betweenness-centrality backtracing.
+* ``FIRST`` — BFS's vertex_update (keep vertexValue1, i.e. any one parent;
+  deterministic here because our sorts are stable).
+* ``MIN`` — single-source shortest path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.kvstream import KVArray
+
+
+class ReduceOp:
+    """A named binary associative reduction over values of equal keys."""
+
+    def __init__(self, name: str, ufunc: np.ufunc | None,
+                 scalar: Callable[[object, object], object] | None = None):
+        if ufunc is None and scalar is None:
+            raise ValueError("a ReduceOp needs a ufunc or a scalar function")
+        self.name = name
+        self.ufunc = ufunc
+        self.scalar = scalar
+
+    def __repr__(self) -> str:
+        return f"ReduceOp({self.name})"
+
+    # ------------------------------------------------------------------ apply
+
+    def reduce_sorted(self, run: KVArray) -> KVArray:
+        """Collapse duplicate keys of an already-sorted run.
+
+        The result is strictly sorted (unique keys).  This is the operation
+        interleaved after every merge step in sort-reduce.
+        """
+        if not run.is_sorted():
+            raise ValueError("reduce_sorted requires a key-sorted run")
+        n = len(run)
+        if n == 0:
+            return run
+        starts = group_starts(run.keys)
+        if len(starts) == n:
+            return run  # all keys already unique
+        out_keys = run.keys[starts]
+        out_values = self._reduce_groups(run.values, starts)
+        return KVArray(out_keys, out_values)
+
+    def _reduce_groups(self, values: np.ndarray, starts: np.ndarray) -> np.ndarray:
+        if self.name == "first":
+            return values[starts]
+        if self.name == "last":
+            ends = np.empty_like(starts)
+            ends[:-1] = starts[1:]
+            ends[-1] = len(values)
+            return values[ends - 1]
+        if self.ufunc is not None:
+            return self.ufunc.reduceat(values, starts)
+        return self._reduce_groups_scalar(values, starts)
+
+    def _reduce_groups_scalar(self, values: np.ndarray, starts: np.ndarray) -> np.ndarray:
+        out = np.empty(len(starts), dtype=values.dtype)
+        bounds = list(starts) + [len(values)]
+        for i in range(len(starts)):
+            acc = values[bounds[i]]
+            for j in range(bounds[i] + 1, bounds[i + 1]):
+                acc = self.scalar(acc, values[j])
+            out[i] = acc
+        return out
+
+    def combine(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Element-wise f(a, b) for aligned arrays of matched keys."""
+        if self.name == "first":
+            return a.copy()
+        if self.name == "last":
+            return b.copy()
+        if self.ufunc is not None:
+            return self.ufunc(a, b)
+        return np.array([self.scalar(x, y) for x, y in zip(a, b)], dtype=a.dtype)
+
+
+def group_starts(sorted_keys: np.ndarray) -> np.ndarray:
+    """Indices where each distinct-key group begins in a sorted key array."""
+    if len(sorted_keys) == 0:
+        return np.empty(0, dtype=np.intp)
+    changes = np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1
+    return np.concatenate([[0], changes])
+
+
+SUM = ReduceOp("sum", np.add)
+PROD = ReduceOp("prod", np.multiply)
+MIN = ReduceOp("min", np.minimum)
+MAX = ReduceOp("max", np.maximum)
+FIRST = ReduceOp("first", None, scalar=lambda a, b: a)
+LAST = ReduceOp("last", None, scalar=lambda a, b: b)
+
+_BUILTIN = {op.name: op for op in (SUM, PROD, MIN, MAX, FIRST, LAST)}
+
+
+def op_by_name(name: str) -> ReduceOp:
+    """Look up a built-in reduction operator by name."""
+    try:
+        return _BUILTIN[name]
+    except KeyError:
+        known = ", ".join(sorted(_BUILTIN))
+        raise KeyError(f"unknown reduce op {name!r}; known: {known}") from None

@@ -1,0 +1,163 @@
+"""Horizontal scale-out of sort-reduce across multiple storage devices (§VI).
+
+The paper's future-work section: "GraFBoost can easily be scaled
+horizontally simply by plugging in more accelerated storage devices into the
+host server.  The intermediate update list can be transparently partitioned
+across devices."
+
+:class:`PartitionedSortReducer` implements exactly that: the key space is
+split into contiguous ranges, one per device; every incoming update chunk is
+scattered to its range's device, where a private
+:class:`~repro.core.external.ExternalSortReducer` sorts and reduces it using
+that device's own accelerator and flash.  Because ranges are contiguous,
+concatenating the per-device results in range order *is* the globally sorted
+reduced output — no cross-device merge is ever needed.
+
+Devices run concurrently; the wall time of the whole operation is the
+maximum of the per-device simulated times, which the harness reports via
+:meth:`PartitionedSortReducer.elapsed_s`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.external import ExternalSortReducer
+from repro.core.kvstream import KVArray
+from repro.core.reduce_ops import ReduceOp
+
+
+class PartitionedRun:
+    """The globally sorted result: per-device runs in key-range order."""
+
+    def __init__(self, runs: list, bounds: np.ndarray, value_dtype: np.dtype):
+        self.runs = runs
+        self.bounds = bounds
+        self.value_dtype = np.dtype(value_dtype)
+
+    @property
+    def num_records(self) -> int:
+        return sum(run.num_records for run in self.runs)
+
+    def __len__(self) -> int:
+        return self.num_records
+
+    def chunks(self, io_bytes: int | None = None) -> Iterator[KVArray]:
+        """Stream the global result in key order (partition by partition)."""
+        for run in self.runs:
+            if io_bytes is None:
+                yield from run.chunks()
+            else:
+                yield from run.chunks(io_bytes)
+
+    def read_all(self) -> KVArray:
+        parts = [run.read_all() for run in self.runs if run.num_records]
+        if not parts:
+            return KVArray.empty(self.value_dtype)
+        return KVArray.concat(parts)
+
+    def delete(self) -> None:
+        for run in self.runs:
+            run.delete()
+
+
+class PartitionedSortReducer:
+    """Scatter updates to per-device sort-reducers by contiguous key range.
+
+    ``devices`` is a list of (store, backend) pairs — typically one
+    :func:`~repro.engine.config.make_system` stack per storage device.  Each
+    store must own its own clock; devices work concurrently and
+    :meth:`elapsed_s` reports the slowest one (plus any host scatter time,
+    which is negligible: the scatter is a streaming partition by key range).
+    """
+
+    def __init__(self, devices: list[tuple], op: ReduceOp, value_dtype: np.dtype,
+                 key_space: int, chunk_bytes: int, fanout: int = 16,
+                 name_prefix: str = "scaleout",
+                 interconnect_bw: float | None = None):
+        """``interconnect_bw`` models BlueDBM's inter-controller network
+        (§VI: updates are "transparently partitioned across devices" over
+        dedicated serial links): when set, every update that lands on a
+        device other than the one that produced it is charged transit time
+        at that bandwidth on both endpoints.  ``None`` means the host
+        scatters in DRAM (the single-server configuration)."""
+        if not devices:
+            raise ValueError("need at least one device")
+        if key_space < len(devices):
+            raise ValueError(
+                f"key space {key_space} smaller than device count {len(devices)}")
+        if interconnect_bw is not None and interconnect_bw <= 0:
+            raise ValueError("interconnect_bw must be positive")
+        self.interconnect_bw = interconnect_bw
+        self.network_bytes = 0
+        self.op = op
+        self.value_dtype = np.dtype(value_dtype)
+        self.key_space = key_space
+        # bounds[i] is the first key of partition i; partition i owns
+        # [bounds[i], bounds[i+1]).
+        self.bounds = np.linspace(0, key_space, len(devices) + 1).astype(np.uint64)
+        self._clocks = [store.device.clock for store, _backend in devices]
+        self._start_elapsed = [clock.elapsed_s for clock in self._clocks]
+        self.reducers = [
+            ExternalSortReducer(store, op, value_dtype, backend, chunk_bytes,
+                                fanout=fanout, name_prefix=f"{name_prefix}-p{i}")
+            for i, (store, backend) in enumerate(devices)
+        ]
+        self._finished = False
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.reducers)
+
+    def partition_of(self, keys: np.ndarray) -> np.ndarray:
+        """Partition index of each key."""
+        return np.searchsorted(self.bounds, keys, side="right") - 1
+
+    def add(self, kv: KVArray) -> None:
+        """Scatter one unsorted update chunk across the devices."""
+        if self._finished:
+            raise RuntimeError("add() after finish()")
+        if len(kv) == 0:
+            return
+        if int(kv.keys.max()) >= self.key_space:
+            raise ValueError("update key out of the declared key space")
+        parts = self.partition_of(kv.keys)
+        for index in np.unique(parts):
+            mask = parts == index
+            piece = kv.take(mask)
+            if self.interconnect_bw is not None and self.num_partitions > 1:
+                # In the distributed configuration, updates are produced at
+                # all devices uniformly: (P-1)/P of each partition's data
+                # crossed the inter-controller network to reach its home.
+                transit = piece.nbytes * (self.num_partitions - 1) / self.num_partitions
+                self.network_bytes += int(transit)
+                self._clocks[int(index)].charge(
+                    "net", transit / self.interconnect_bw, nbytes=int(transit))
+            self.reducers[int(index)].add(piece)
+
+    def finish(self) -> PartitionedRun:
+        """Finish every partition; returns the globally sorted result."""
+        if self._finished:
+            raise RuntimeError("finish() called twice")
+        self._finished = True
+        runs = [reducer.finish() for reducer in self.reducers]
+        return PartitionedRun(runs, self.bounds, self.value_dtype)
+
+    @property
+    def elapsed_s(self) -> float:
+        """Wall time: devices run concurrently, so the slowest one decides."""
+        deltas = [clock.elapsed_s - start
+                  for clock, start in zip(self._clocks, self._start_elapsed)]
+        return max(deltas)
+
+    @property
+    def device_times(self) -> list[float]:
+        """Per-device simulated time (load-balance diagnostics)."""
+        return [clock.elapsed_s - start
+                for clock, start in zip(self._clocks, self._start_elapsed)]
+
+    @property
+    def total_input_pairs(self) -> int:
+        return sum(r.stats.total_input_pairs for r in self.reducers)

@@ -1,0 +1,171 @@
+"""Functional models of the FPGA sorting-network datapath (Fig 9).
+
+The hardware sorts streams of 256-bit tuples (each holding several key-value
+pairs) with three kinds of components:
+
+* a small **bitonic sorting network** that sorts the pairs inside one tuple
+  (Fig 9a's first stage),
+* a **tuple merger** — a bitonic half-cleaner plus sorter that merges two
+  sorted M-tuples streams into one (Fig 9b),
+* a **merge tree** of tuple mergers that turns N sorted streams into one
+  (Fig 9c's 8-to-1 tree; 16-to-1 in the real design).
+
+These are *functional* models: they execute the exact compare-exchange
+schedules the hardware wires up, so the property tests prove the datapath
+design is correct (a zero-one-principle workout), while the accelerator cost
+model separately accounts for its throughput.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+
+def bitonic_sort_schedule(n: int) -> list[tuple[int, int]]:
+    """Compare-exchange schedule of a bitonic sorting network for ``n = 2^k``.
+
+    Returns (i, j) pairs in execution order; applying
+    ``if a[i] > a[j]: swap`` for each yields a sorted array — for *any*
+    input, by the zero-one principle.
+    """
+    if n < 1 or n & (n - 1):
+        raise ValueError(f"bitonic network size must be a power of two, got {n}")
+    schedule: list[tuple[int, int]] = []
+    k = 2
+    while k <= n:
+        j = k // 2
+        while j >= 1:
+            for i in range(n):
+                partner = i ^ j
+                if partner > i:
+                    # Direction: ascending iff the k-block index is even.
+                    if (i & k) == 0:
+                        schedule.append((i, partner))
+                    else:
+                        schedule.append((partner, i))
+            j //= 2
+        k *= 2
+    return schedule
+
+
+def apply_schedule(values: Sequence[float], schedule: list[tuple[int, int]]) -> list:
+    """Run a compare-exchange schedule over a copy of ``values``."""
+    out = list(values)
+    for lo, hi in schedule:
+        if out[lo] > out[hi]:
+            out[lo], out[hi] = out[hi], out[lo]
+    return out
+
+
+def bitonic_merge_schedule(n: int) -> list[tuple[int, int]]:
+    """Schedule of a bitonic *merger*: sorts any bitonic sequence of length n.
+
+    Fed with an ascending half followed by a descending half, this is the
+    half-cleaner + sorter of Fig 9b.
+    """
+    if n < 1 or n & (n - 1):
+        raise ValueError(f"bitonic merger size must be a power of two, got {n}")
+    schedule: list[tuple[int, int]] = []
+    j = n // 2
+    while j >= 1:
+        for i in range(n):
+            partner = i ^ j
+            if partner > i:
+                schedule.append((i, partner))
+        j //= 2
+    return schedule
+
+
+class TupleSorter:
+    """Sorts the M pairs inside one hardware tuple (Fig 9a, small network)."""
+
+    def __init__(self, tuple_size: int):
+        self.tuple_size = tuple_size
+        self._schedule = bitonic_sort_schedule(tuple_size)
+
+    def sort(self, tup: Sequence[float]) -> list:
+        if len(tup) != self.tuple_size:
+            raise ValueError(f"expected a {self.tuple_size}-tuple, got {len(tup)}")
+        return apply_schedule(tup, self._schedule)
+
+
+class TupleMerger:
+    """Streaming 2-to-1 merger of sorted-M-tuple streams (Fig 9b).
+
+    The classic hardware loop: keep M registers holding the smallest pending
+    elements; each step, pull a tuple from whichever input's head is
+    smaller, run registers+input through a 2M bitonic merger, emit the low
+    half, keep the high half.
+    """
+
+    def __init__(self, tuple_size: int):
+        self.tuple_size = tuple_size
+        self._merge2m = bitonic_merge_schedule(2 * tuple_size)
+
+    def merge(self, a: Iterator[Sequence[float]], b: Iterator[Sequence[float]]) -> Iterator[list]:
+        """Yield sorted M-tuples forming the merge of streams ``a`` and ``b``."""
+        a, b = iter(a), iter(b)
+        head_a = next(a, None)
+        head_b = next(b, None)
+        registers: list | None = None
+        while head_a is not None or head_b is not None:
+            if head_b is None or (head_a is not None and head_a[0] <= head_b[0]):
+                incoming, head_a = list(head_a), next(a, None)
+            else:
+                incoming, head_b = list(head_b), next(b, None)
+            if registers is None:
+                registers = incoming
+                continue
+            # registers ascending + incoming reversed = a bitonic sequence.
+            merged = apply_schedule(registers + incoming[::-1], self._merge2m)
+            yield merged[:self.tuple_size]
+            registers = merged[self.tuple_size:]
+        if registers is not None:
+            yield registers
+
+
+class MergeTree:
+    """An N-to-1 merge tree built from 2-to-1 tuple mergers (Fig 9c)."""
+
+    def __init__(self, fanin: int, tuple_size: int):
+        if fanin < 1 or fanin & (fanin - 1):
+            raise ValueError(f"merge tree fan-in must be a power of two, got {fanin}")
+        self.fanin = fanin
+        self.tuple_size = tuple_size
+        self._merger = TupleMerger(tuple_size)
+
+    def merge(self, streams: list[Iterator[Sequence[float]]]) -> Iterator[list]:
+        """Merge up to ``fanin`` sorted tuple streams into one."""
+        if len(streams) > self.fanin:
+            raise ValueError(f"{len(streams)} streams exceed fan-in {self.fanin}")
+        level = list(streams)
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(self._merger.merge(level[i], level[i + 1]))
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        return iter(level[0]) if level else iter(())
+
+
+def stream_to_tuples(values: Sequence[float], tuple_size: int,
+                     pad: float = np.inf) -> list[list]:
+    """Chop a sorted sequence into M-tuples, padding the last with ``pad``."""
+    out = []
+    for i in range(0, len(values), tuple_size):
+        chunk = list(values[i:i + tuple_size])
+        while len(chunk) < tuple_size:
+            chunk.append(pad)
+        out.append(chunk)
+    return out
+
+
+def tuples_to_stream(tuples: Iterator[Sequence[float]], pad: float = np.inf) -> list:
+    """Flatten M-tuples back into one list, dropping padding."""
+    out = []
+    for tup in tuples:
+        out.extend(v for v in tup if v != pad)
+    return out

@@ -1,0 +1,33 @@
+"""The GraFBoost vertex-centric engine (§III-C, §IV).
+
+Push-style vertex programs (edge_program / vertex_update / finalize /
+is_active, Algorithm 1's vocabulary) are executed in bulk-synchronous
+supersteps whose random vertex updates are routed through external
+sort-reduce:
+
+* :mod:`repro.engine.api` — the :class:`VertexProgram` interface and the
+  all-active vertex list generator (§IV-D's hardware generator module).
+* :mod:`repro.engine.superstep` — Algorithm 3 (lazy active-vertex
+  evaluation, the production path) and Algorithm 2 (eager) for the
+  ablation.
+* :mod:`repro.engine.bloom` — the bloom filter of Algorithm 4.
+* :mod:`repro.engine.engine` — the superstep driver and run metrics.
+* :mod:`repro.engine.config` — system assembly: GraFBoost / GraFBoost2 /
+  GraFSoft stacks at a chosen scale.
+"""
+
+from repro.engine.api import VertexProgram, all_active_chunks
+from repro.engine.bloom import BloomFilter
+from repro.engine.engine import GraFBoostEngine, RunResult, SuperstepMetrics
+from repro.engine.config import SystemConfig, make_system
+
+__all__ = [
+    "VertexProgram",
+    "all_active_chunks",
+    "BloomFilter",
+    "GraFBoostEngine",
+    "RunResult",
+    "SuperstepMetrics",
+    "SystemConfig",
+    "make_system",
+]

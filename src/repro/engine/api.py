@@ -1,0 +1,106 @@
+"""The vertex-program interface (Algorithm 1's vocabulary, vectorized).
+
+A graph algorithm is expressed as four functions plus a reduction operator:
+
+* :meth:`VertexProgram.edge_program` — per-edge: combine the source vertex's
+  value with the edge property into an update for the destination.
+* ``reduce_op`` — *vertex_update*: the binary associative function that
+  merges updates targeting the same vertex; this is what sort-reduce
+  interleaves into its merge phases.
+* :meth:`VertexProgram.finalize` — per-vertex, after reduction (PageRank's
+  dampening).
+* :meth:`VertexProgram.is_active` — whether the finalized value activates
+  the vertex for the next superstep.
+
+All methods are vectorized over numpy arrays — an element-at-a-time API at
+these data volumes would make a pure-Python reproduction unusable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.kvstream import KVArray
+from repro.core.reduce_ops import ReduceOp
+
+
+class VertexProgram:
+    """Base class for push-style vertex programs.
+
+    Subclasses set :attr:`value_dtype`, :attr:`reduce_op`,
+    :attr:`default_value` and override the four program methods.  The base
+    implementations give pass-through finalize and always-active semantics.
+    """
+
+    #: Human-readable algorithm name (used in reports).
+    name = "vertex-program"
+    #: dtype of vertex values and update messages.
+    value_dtype: np.dtype = np.dtype("<u8")
+    #: vertex_update — must be binary associative (§III-A).
+    reduce_op: ReduceOp
+    #: Initial value of every vertex in ``V``.
+    default_value: object = 0
+    #: Whether edge_program consumes edge weights.
+    uses_weights = False
+
+    # ------------------------------------------------------------ the program
+
+    def edge_program(self, src_values: np.ndarray, src_ids: np.ndarray,
+                     edge_weights: np.ndarray | None,
+                     src_degrees: np.ndarray) -> np.ndarray:
+        """Per-edge update values.
+
+        All inputs are aligned per-edge arrays: the source vertex's value and
+        id, the edge weight (None for unweighted graphs), and the source's
+        out-degree (PageRank's ``numNeighbors``).
+        """
+        raise NotImplementedError
+
+    def finalize(self, new_values: np.ndarray, old_values: np.ndarray) -> np.ndarray:
+        """Combine the reduced update with the previous vertex value."""
+        return new_values
+
+    def is_active(self, finalized: np.ndarray, old_values: np.ndarray,
+                  old_steps: np.ndarray, superstep: int) -> np.ndarray:
+        """Mask of vertices that activate for the next superstep."""
+        return np.ones(len(finalized), dtype=bool)
+
+    # --------------------------------------------------------------- kickoff
+
+    def initial_updates(self, num_vertices: int) -> Iterator[KVArray]:
+        """The ``newV`` stream that seeds superstep 0.
+
+        Default: every vertex active with the default value (the hardware
+        vertex list generator of §IV-D).  Algorithms with sparse starts
+        (BFS, SSSP) override with their root update.
+        """
+        return all_active_chunks(num_vertices, self.value_dtype, self.default_value)
+
+    # ---------------------------------------------------------------- limits
+
+    def max_supersteps(self) -> int:
+        """Upper bound on supersteps (the engine also stops on quiescence)."""
+        return 1 << 30
+
+
+def all_active_chunks(num_vertices: int, value_dtype: np.dtype, value,
+                      chunk_records: int = 1 << 16) -> Iterator[KVArray]:
+    """Stream (k, value) for every vertex — the hardware vertex list
+    generator module: "emits a stream of active vertex key-value pairs with
+    uniform values" (§IV-D).  Generated, not read, so it costs no flash I/O.
+    """
+    for start in range(0, num_vertices, chunk_records):
+        stop = min(start + chunk_records, num_vertices)
+        keys = np.arange(start, stop, dtype=np.uint64)
+        values = np.full(stop - start, value, dtype=np.dtype(value_dtype))
+        yield KVArray(keys, values)
+
+
+def single_seed(key: int, value, value_dtype: np.dtype) -> Iterator[KVArray]:
+    """A one-vertex seed stream (BFS/SSSP roots)."""
+    yield KVArray(
+        np.array([key], dtype=np.uint64),
+        np.array([value], dtype=np.dtype(value_dtype)),
+    )

@@ -1,0 +1,10 @@
+"""Re-export of :mod:`repro.core.bloom` under its historical engine location.
+
+The filter itself is a generic data structure used both by Algorithm 4's
+active-list generation (engine layer) and by the vertex array's per-overlay
+skip filters (graph layer), so it lives in :mod:`repro.core`.
+"""
+
+from repro.core.bloom import BloomFilter
+
+__all__ = ["BloomFilter"]

@@ -1,0 +1,161 @@
+"""System assembly: wire a hardware profile into a runnable stack.
+
+A :class:`SystemConfig` owns one simulated clock, one flash device, one file
+store and one cost-model backend — everything an engine run charges against.
+:func:`make_system` builds the three GraFBoost-family stacks of the paper:
+
+* ``grafboost`` — accelerator backend over raw flash + AOFFS (§IV).
+* ``grafboost2`` — the same with 20 GB/s on-board DRAM (§V-C.3).
+* ``grafsoft`` — software backend over a commodity SSD file system on the
+  32-core server (§IV-F).
+
+Scaled-down experiments pass ``scale_factor``: dataset, DRAM budget and the
+512 MB sort-chunk size all shrink together, so external merging still
+happens at the same *relative* depth as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.accelerator import AcceleratorBackend, SoftwareBackend
+from repro.core.packing import PackingSpec
+from repro.engine.engine import GraFBoostEngine
+from repro.flash.aoffs import AppendOnlyFlashFS
+from repro.flash.device import FlashDevice, FlashGeometry
+from repro.flash.filestore import SSDFileSystem
+from repro.flash.ftl import SSD
+from repro.graph.csr import CSRGraph
+from repro.graph.formats import FlashCSR
+from repro.perf.clock import SimClock
+from repro.perf.memory import MemoryTracker
+from repro.perf.profiles import (
+    GRAFBOOST,
+    GRAFBOOST2,
+    GRAFSOFT,
+    HardwareProfile,
+    MB,
+)
+
+#: The paper's in-memory sort chunk (512 MB), scaled with the experiment.
+PAPER_CHUNK_BYTES = 512 * MB
+#: Smallest chunk worth sorting separately in the scaled simulation (kept
+#: well above the 8 KB flash page so run files aren't dominated by page
+#: padding, which paper-size 512 MB chunks never see).
+MIN_CHUNK_BYTES = 64 * 1024
+
+_KINDS = {
+    "grafboost": (GRAFBOOST, "aoffs"),
+    "grafboost2": (GRAFBOOST2, "aoffs"),
+    "grafsoft": (GRAFSOFT, "ssd"),
+}
+
+
+@dataclass
+class SystemConfig:
+    """One assembled system stack."""
+
+    name: str
+    profile: HardwareProfile
+    scale_factor: float
+    clock: SimClock
+    device: FlashDevice
+    store: object            # AppendOnlyFlashFS or SSDFileSystem
+    backend: object          # AcceleratorBackend or SoftwareBackend
+    memory: MemoryTracker
+    chunk_bytes: int
+    fanout: int = 16
+
+    def engine_for(self, graph: FlashCSR, num_vertices: int,
+                   lazy: bool = True) -> GraFBoostEngine:
+        return GraFBoostEngine(
+            graph, self.store, self.backend, num_vertices,
+            chunk_bytes=self.chunk_bytes, fanout=self.fanout,
+            memory=self.memory, lazy=lazy,
+        )
+
+    def load_graph(self, graph: CSRGraph, prefix: str = "graph") -> FlashCSR:
+        """Serialize a CSR graph into this system's store."""
+        return FlashCSR.write(self.store, prefix, graph)
+
+
+def scaled_geometry(capacity_bytes: int, page_bytes: int = 8192,
+                    min_blocks: int = 4096) -> FlashGeometry:
+    """Flash geometry for a scaled device.
+
+    Pages keep their real 8 KB size (page granularity drives the random
+    access waste the paper measures), but blocks shrink so the device still
+    has a realistic *number* of blocks (a real 1 TB device has ~500 K) for
+    AOFFS's block-per-file allocation when thousands of small sorted runs
+    and per-superstep overlays coexist.
+    """
+    pages_per_block = 256
+    while pages_per_block > 1 and capacity_bytes // (pages_per_block * page_bytes) < min_blocks:
+        pages_per_block //= 2
+    num_blocks = max(min_blocks, -(-capacity_bytes // (pages_per_block * page_bytes)))
+    return FlashGeometry(page_bytes=page_bytes, pages_per_block=pages_per_block,
+                         num_blocks=num_blocks)
+
+
+def make_system(kind: str, scale_factor: float = 1.0,
+                dram_bytes: int | None = None,
+                flash_capacity: int | None = None,
+                num_vertices_hint: int | None = None,
+                profile: HardwareProfile | None = None) -> SystemConfig:
+    """Build one of the GraFBoost-family stacks at a given scale.
+
+    ``dram_bytes`` overrides the (scaled) DRAM budget — the Fig 13 memory
+    sweep.  ``flash_capacity`` overrides device size; by default the scaled
+    profile capacity is multiplied by 6 to absorb block-granular allocation
+    slack of many coexisting run files.  ``num_vertices_hint`` sizes the
+    accelerator's key packing (Fig 7).
+    """
+    if profile is None:
+        try:
+            base_profile, store_kind = _KINDS[kind]
+        except KeyError:
+            known = ", ".join(sorted(_KINDS))
+            raise KeyError(f"unknown system kind {kind!r}; known: {known}") from None
+    else:
+        base_profile = profile
+        store_kind = "aoffs" if profile.has_accelerator else "ssd"
+
+    scaled = base_profile.scaled(scale_factor) if scale_factor != 1.0 else base_profile
+    if dram_bytes is not None:
+        scaled = scaled.with_dram(dram_bytes)
+
+    capacity = flash_capacity if flash_capacity is not None else scaled.flash_capacity * 6
+    clock = SimClock()
+
+    if store_kind == "aoffs":
+        # Key widths are sized for the *paper-equivalent* vertex count so
+        # the packing win (Fig 7) matches what the real datasets would get.
+        if num_vertices_hint:
+            equivalent = max(2, int(num_vertices_hint / scale_factor))
+            packing = PackingSpec.for_vertex_count(equivalent, value_bits=32)
+        else:
+            packing = PackingSpec(key_bits=34, value_bits=32)
+        backend = AcceleratorBackend(scaled, packing)
+        device = FlashDevice(scaled_geometry(capacity), scaled, clock,
+                             traffic_scale=backend.traffic_scale())
+        store = AppendOnlyFlashFS(device)
+    else:
+        backend = SoftwareBackend(scaled)
+        device = FlashDevice(scaled_geometry(capacity), scaled, clock)
+        store = SSDFileSystem(SSD(device, ftl_overhead_s=scaled.ftl_overhead_s))
+
+    chunk = int(PAPER_CHUNK_BYTES * scale_factor)
+    chunk = max(MIN_CHUNK_BYTES, min(max(chunk, MIN_CHUNK_BYTES), scaled.dram_capacity * 4))
+    memory = MemoryTracker(budget=max(scaled.dram_capacity, 4 * chunk), policy="strict")
+
+    return SystemConfig(
+        name=kind if profile is None else profile.name,
+        profile=scaled,
+        scale_factor=scale_factor,
+        clock=clock,
+        device=device,
+        store=store,
+        backend=backend,
+        memory=memory,
+        chunk_bytes=chunk,
+    )

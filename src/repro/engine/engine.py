@@ -1,0 +1,171 @@
+"""The superstep driver: runs a vertex program to quiescence and collects
+per-superstep metrics (the numbers behind every evaluation figure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.external import SortReduceStats
+from repro.engine.api import VertexProgram
+from repro.engine.superstep import SuperstepExecutor
+from repro.graph.formats import FlashCSR
+from repro.graph.vertexdata import VertexArray
+
+
+@dataclass
+class SuperstepMetrics:
+    """One superstep's observable behaviour, including resource deltas —
+    the per-superstep breakdown behind the paper's §V-C analysis."""
+
+    superstep: int
+    activated: int
+    traversed_edges: int
+    update_pairs: int
+    reduced_pairs: int
+    elapsed_s: float
+    flash_bytes: int = 0
+    flash_busy_s: float = 0.0
+    compute_busy_s: float = 0.0
+
+    @property
+    def flash_bandwidth(self) -> float:
+        """Achieved flash bandwidth during this superstep (bytes/s)."""
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.flash_bytes / self.elapsed_s
+
+
+@dataclass
+class RunResult:
+    """Everything a completed run exposes to callers and benchmarks."""
+
+    algorithm: str
+    vertices: VertexArray
+    supersteps: list[SuperstepMetrics] = field(default_factory=list)
+    sort_stats: list[SortReduceStats] = field(default_factory=list)
+    elapsed_s: float = 0.0
+    completed: bool = True
+
+    @property
+    def num_supersteps(self) -> int:
+        return len(self.supersteps)
+
+    @property
+    def total_traversed_edges(self) -> int:
+        return sum(s.traversed_edges for s in self.supersteps)
+
+    @property
+    def total_activated(self) -> int:
+        return sum(s.activated for s in self.supersteps)
+
+    @property
+    def mteps(self) -> float:
+        """Millions of traversed edges per (simulated) second."""
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.total_traversed_edges / self.elapsed_s / 1e6
+
+    def final_values(self) -> np.ndarray:
+        return self.vertices.final_values()
+
+
+class GraFBoostEngine:
+    """Drives a vertex program over one assembled system stack.
+
+    The engine owns no hardware state of its own: the graph, vertex array,
+    file store and cost-model backend are injected, so the same driver runs
+    as GraFBoost (accelerator + AOFFS), GraFBoost2, or GraFSoft (software +
+    commodity SSD file system).
+    """
+
+    def __init__(self, graph: FlashCSR, store, backend, num_vertices: int,
+                 chunk_bytes: int, fanout: int = 16, memory=None,
+                 lazy: bool = True, max_overlays: int = 64):
+        self.graph = graph
+        self.store = store
+        self.backend = backend
+        self.num_vertices = num_vertices
+        self.chunk_bytes = chunk_bytes
+        self.fanout = fanout
+        self.memory = memory
+        self.lazy = lazy
+        self.max_overlays = max_overlays
+
+    @property
+    def clock(self):
+        return self.store.device.clock
+
+    def run(self, program: VertexProgram, max_supersteps: int | None = None) -> RunResult:
+        """Execute supersteps until quiescence or the superstep limit.
+
+        On a limit cut (fixed-iteration algorithms like the paper's one-pass
+        PageRank measurement), a final apply pass folds the outstanding
+        ``newV`` into ``V`` so :meth:`RunResult.final_values` is consistent.
+        """
+        limit = program.max_supersteps() if max_supersteps is None else max_supersteps
+        vertices = VertexArray(
+            self.store, self.num_vertices, program.value_dtype,
+            program.default_value, max_overlays=self.max_overlays,
+        )
+        executor = SuperstepExecutor(
+            self.graph, vertices, program, self.store, self.backend,
+            self.chunk_bytes, fanout=self.fanout, memory=self.memory, lazy=self.lazy,
+        )
+        result = RunResult(algorithm=program.name, vertices=vertices)
+        run_start = self.clock.elapsed_s
+
+        prev_chunks = program.initial_updates(self.num_vertices)
+        prev_run = None
+        superstep = 0
+        while superstep < limit:
+            checkpoint = self.clock.checkpoint()
+            flash_bytes_start = self.clock.bytes_moved("flash")
+            outcome = executor.run(prev_chunks, superstep)
+            if prev_run is not None:
+                prev_run.delete()
+            prev_run = outcome.new_run
+            result.supersteps.append(SuperstepMetrics(
+                superstep=superstep,
+                activated=outcome.activated,
+                traversed_edges=outcome.traversed_edges,
+                update_pairs=outcome.update_pairs,
+                reduced_pairs=outcome.new_run.num_records,
+                elapsed_s=checkpoint.elapsed_s,
+                flash_bytes=self.clock.bytes_moved("flash") - flash_bytes_start,
+                flash_busy_s=checkpoint.busy_s("flash"),
+                compute_busy_s=checkpoint.busy_s("cpu") + checkpoint.busy_s("accel"),
+            ))
+            result.sort_stats.append(outcome.sort_stats)
+            vertices.maybe_compact()
+            superstep += 1
+            if outcome.new_run.num_records == 0 and outcome.activated == 0:
+                break
+            prev_chunks = prev_run.chunks()
+            if outcome.new_run.num_records == 0:
+                # Frontier died this superstep: one more (empty) pass would
+                # change nothing, stop now.
+                break
+
+        if prev_run is not None and prev_run.num_records:
+            self._apply_pass(executor, prev_run, superstep)
+            prev_run.delete()
+        result.elapsed_s = self.clock.elapsed_s - run_start
+        return result
+
+    def _apply_pass(self, executor: SuperstepExecutor, run, superstep: int) -> None:
+        """Fold an unconsumed ``newV`` into ``V`` without pushing edges."""
+        program = executor.program
+        cursor = executor.vertices.cursor()
+        overlay = executor.vertices.overlay_writer(superstep)
+        from repro.core.kvstream import KVArray
+
+        for chunk in run.chunks():
+            old_values, old_steps = cursor.lookup(chunk.keys)
+            finalized = program.finalize(chunk.values, old_values)
+            mask = program.is_active(finalized, old_values, old_steps, superstep)
+            if np.any(mask):
+                overlay.add(KVArray(chunk.keys[mask], np.asarray(finalized)[mask]))
+        overlay.close()

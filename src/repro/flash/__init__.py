@@ -1,0 +1,34 @@
+"""Simulated NAND flash substrate.
+
+The paper's storage device exposes raw ``read``/``write``/``erase`` flash
+interfaces to the accelerator and host instead of hiding them behind a Flash
+Translation Layer (§IV).  This package builds that stack in simulation:
+
+* :class:`FlashDevice` — page/block-granular NAND with program-order and
+  erase-before-write constraints, per-op latency and bandwidth charging, and
+  wear tracking.
+* :class:`PageMappedFTL` / :class:`SSD` — the "off-the-shelf SSD" baseline: a
+  page-mapped FTL with greedy garbage collection and wear leveling, used by
+  the competing systems and by the AOFFS-vs-FTL ablation.
+* :class:`AppendOnlyFlashFS` — the paper's AOFFS (§IV-A): host-managed
+  logical-to-physical mapping where files only ever grow by appending, which
+  is all sort-reduce needs and removes FTL latency overhead.
+"""
+
+from repro.flash.device import FlashDevice, FlashGeometry, FlashError
+from repro.flash.ftl import PageMappedFTL, SSD
+from repro.flash.aoffs import AppendOnlyFlashFS, FlashFile
+from repro.flash.filestore import SSDFileSystem
+from repro.flash.wear import WearReport
+
+__all__ = [
+    "FlashDevice",
+    "FlashGeometry",
+    "FlashError",
+    "PageMappedFTL",
+    "SSD",
+    "AppendOnlyFlashFS",
+    "FlashFile",
+    "SSDFileSystem",
+    "WearReport",
+]

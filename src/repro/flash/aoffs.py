@@ -1,0 +1,274 @@
+"""Append-Only Flash File System (AOFFS), §IV-A of the paper.
+
+AOFFS manages the logical-to-physical flash mapping in the host instead of an
+FTL.  Its one restriction — every file only ever grows by appending — is all
+sort-reduce needs, and it makes flash management trivial:
+
+* Files own whole erase blocks, allocated from a free pool as they grow, so
+  deleting a file erases exactly its own blocks and no garbage collection or
+  relocation ever happens (write amplification is exactly 1.0).
+* Writes stream page-by-page in program order, so the erase-before-write and
+  program-order constraints of NAND are satisfied by construction.
+* No translation layer sits on the data path, which removes the FTL latency
+  overhead — the reason hardware GraFBoost keeps its lookahead buffers small
+  and "almost removes unused flash reads" (§V-C.3).
+
+A file being written keeps its partial tail page in host memory.  Calling
+:meth:`AppendOnlyFlashFS.seal` flushes the tail and makes the file immutable;
+sort-reduce writes each run fully and then seals it before merging.
+
+Because the host owns the mapping, wear leveling (§II-B) is a one-line
+policy instead of an FTL: block allocation always picks the least-erased
+free block, spreading program/erase cycles evenly across the device.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.flash.device import FlashDevice, FlashError
+
+
+class FlashFile:
+    """Metadata for one append-only file: its blocks and logical size."""
+
+    def __init__(self, name: str, page_bytes: int):
+        self.name = name
+        self.page_bytes = page_bytes
+        self.blocks: list[int] = []
+        self.size = 0              # logical bytes, including the tail buffer
+        self.tail = bytearray()    # partial last page, not yet on flash
+        self.flushed_pages = 0     # pages already programmed to flash
+        self.sealed = False
+
+
+class AppendOnlyFlashFS:
+    """Host-managed append-only file system over a raw :class:`FlashDevice`.
+
+    ``prefetch_pages`` is the lookahead buffer applied to small reads.  The
+    low access latency of raw flash lets GraFBoost keep it tiny, "which
+    almost removes unused flash reads" (§V-C.3); the commodity-SSD file
+    system needs a much deeper one (see
+    :class:`~repro.flash.filestore.SSDFileSystem`).  Reads shorter than the
+    buffer still transfer the full buffer; the overshoot is charged and
+    tracked in ``prefetch_waste_bytes``.
+    """
+
+    def __init__(self, device: FlashDevice, prefetch_pages: int = 2):
+        self.device = device
+        self.geometry = device.geometry
+        self.prefetch_pages = prefetch_pages
+        self.prefetch_waste_bytes = 0
+        self._files: dict[str, FlashFile] = {}
+        # Min-heap of (erase count at release time, block): wear-leveled
+        # allocation without FTL machinery.
+        self._free_blocks: list[tuple[int, int]] = [
+            (0, block) for block in range(self.geometry.num_blocks)]
+        heapq.heapify(self._free_blocks)
+        self.total_appended_bytes = 0
+
+    def _charge_prefetch(self, f: FlashFile, first_page: int, pages_read: int) -> None:
+        """Charge the unused tail of the lookahead buffer on a small read.
+
+        Readahead stops at end-of-file, so reading a small file whole wastes
+        nothing; the waste appears on short reads *inside* large files —
+        exactly the "unused flash reads" of §V-C.3.
+        """
+        effective = min(self.prefetch_pages, f.flushed_pages - first_page)
+        shortfall = effective - pages_read
+        if shortfall <= 0:
+            return
+        nbytes = shortfall * self.geometry.page_bytes
+        profile = self.device.profile
+        self.device.clock.charge("flash", nbytes / profile.flash_read_bw, nbytes=nbytes)
+        self.prefetch_waste_bytes += nbytes
+
+    # ---------------------------------------------------------------- queries
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def list_files(self) -> list[str]:
+        return sorted(self._files)
+
+    def size(self, name: str) -> int:
+        return self._file(name).size
+
+    @property
+    def free_bytes(self) -> int:
+        return len(self._free_blocks) * self.geometry.block_bytes
+
+    def _allocate_block(self) -> int:
+        """Wear-leveled allocation: the least-erased free block wins."""
+        _wear, block = heapq.heappop(self._free_blocks)
+        return block
+
+    def _release_block(self, block: int) -> None:
+        heapq.heappush(self._free_blocks,
+                       (self.device.erase_counts[block], block))
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(len(f.blocks) for f in self._files.values()) * self.geometry.block_bytes
+
+    def _file(self, name: str) -> FlashFile:
+        if name not in self._files:
+            raise FileNotFoundError(f"no AOFFS file named {name!r}")
+        return self._files[name]
+
+    # ---------------------------------------------------------------- writing
+
+    def create(self, name: str) -> None:
+        """Create an empty file; the name must be unused."""
+        if name in self._files:
+            raise FileExistsError(f"AOFFS file {name!r} already exists")
+        self._files[name] = FlashFile(name, self.geometry.page_bytes)
+
+    def append(self, name: str, data: bytes) -> None:
+        """Append bytes to a file, creating it if needed.
+
+        Complete pages are streamed to flash immediately (batched, so device
+        latency is amortized over the whole call); the final partial page
+        stays in the host tail buffer until more data arrives or the file is
+        sealed.
+        """
+        if name not in self._files:
+            self.create(name)
+        f = self._files[name]
+        if f.sealed:
+            raise FlashError(f"append to sealed AOFFS file {name!r}")
+        f.tail.extend(data)
+        f.size += len(data)
+        self.total_appended_bytes += len(data)
+        self._flush_full_pages(f)
+
+    def _flush_full_pages(self, f: FlashFile) -> None:
+        page_bytes = self.geometry.page_bytes
+        n_full = len(f.tail) // page_bytes
+        if n_full == 0:
+            return
+        writes: list[tuple[int, int, bytes]] = []
+        next_page_index = f.flushed_pages
+        for i in range(n_full):
+            block, page = self._physical_addr(f, next_page_index + i, allocate=True)
+            start = i * page_bytes
+            writes.append((block, page, bytes(f.tail[start:start + page_bytes])))
+        self.device.write_pages(writes)
+        del f.tail[:n_full * page_bytes]
+        f.flushed_pages += n_full
+
+    def seal(self, name: str) -> None:
+        """Flush the tail (padded to a page) and make the file immutable."""
+        f = self._file(name)
+        if f.sealed:
+            return
+        if f.tail:
+            padded = bytes(f.tail) + b"\x00" * (self.geometry.page_bytes - len(f.tail))
+            block, page = self._physical_addr(f, f.flushed_pages, allocate=True)
+            self.device.write_page(block, page, padded)
+            f.tail.clear()
+            f.flushed_pages += 1
+        f.sealed = True
+
+    def _physical_addr(self, f: FlashFile, page_index: int, allocate: bool = False) -> tuple[int, int]:
+        pages_per_block = self.geometry.pages_per_block
+        block_index, page = divmod(page_index, pages_per_block)
+        if block_index >= len(f.blocks):
+            if not allocate:
+                raise FlashError(f"page {page_index} beyond end of file {f.name!r}")
+            if not self._free_blocks:
+                raise FlashError(f"AOFFS out of space appending to {f.name!r}")
+            f.blocks.append(self._allocate_block())
+        return f.blocks[block_index], page
+
+    # ---------------------------------------------------------------- reading
+
+    def read(self, name: str, offset: int = 0, nbytes: int | None = None) -> bytes:
+        """Read a byte range; one device access latency per call.
+
+        Streaming readers should read in large chunks; a caller doing many
+        small reads pays the per-access latency each time, exactly like a
+        real host doing fine-grained random flash I/O.
+        """
+        f = self._file(name)
+        if nbytes is None:
+            nbytes = f.size - offset
+        if offset < 0 or nbytes < 0 or offset + nbytes > f.size:
+            raise ValueError(
+                f"read [{offset}, {offset + nbytes}) out of range for "
+                f"{name!r} of size {f.size}"
+            )
+        if nbytes == 0:
+            return b""
+        page_bytes = self.geometry.page_bytes
+        flushed_bytes = f.flushed_pages * page_bytes
+
+        parts: list[bytes] = []
+        flash_end = min(offset + nbytes, flushed_bytes)
+        if offset < flushed_bytes:
+            first_page = offset // page_bytes
+            last_page = (flash_end - 1) // page_bytes
+            addresses = [self._physical_addr(f, i) for i in range(first_page, last_page + 1)]
+            pages = self.device.read_pages(addresses)
+            self._charge_prefetch(f, first_page, len(addresses))
+            blob = b"".join(pages)
+            start = offset - first_page * page_bytes
+            parts.append(blob[start:start + (flash_end - offset)])
+        if offset + nbytes > flushed_bytes:
+            tail_start = max(0, offset - flushed_bytes)
+            tail_end = offset + nbytes - flushed_bytes
+            parts.append(bytes(f.tail[tail_start:tail_end]))
+        return b"".join(parts)
+
+    def stream(self, name: str, chunk_bytes: int):
+        """Yield the file's contents in ``chunk_bytes`` pieces (sequential scan)."""
+        if chunk_bytes <= 0:
+            raise ValueError(f"chunk_bytes must be positive, got {chunk_bytes}")
+        size = self._file(name).size
+        offset = 0
+        while offset < size:
+            n = min(chunk_bytes, size - offset)
+            yield self.read(name, offset, n)
+            offset += n
+
+    # ----------------------------------------------------------- numpy helpers
+
+    def append_array(self, name: str, array: np.ndarray) -> None:
+        """Append a numpy array's raw bytes to a file."""
+        self.append(name, np.ascontiguousarray(array).tobytes())
+
+    def read_array(self, name: str, dtype: np.dtype, start_item: int = 0,
+                   count: int | None = None) -> np.ndarray:
+        """Read ``count`` items of ``dtype`` starting at item ``start_item``."""
+        dtype = np.dtype(dtype)
+        if count is None:
+            count = self.size(name) // dtype.itemsize - start_item
+        raw = self.read(name, start_item * dtype.itemsize, count * dtype.itemsize)
+        return np.frombuffer(raw, dtype=dtype)
+
+    # --------------------------------------------------------------- deletion
+
+    def delete(self, name: str) -> None:
+        """Delete a file and erase its blocks back into the free pool.
+
+        Erases run in the background: with block-per-file allocation there
+        is never data to relocate, so the device pipelines reclamation
+        behind foreground traffic (unlike FTL garbage collection).
+        """
+        f = self._file(name)
+        for block in f.blocks:
+            if not self.device.block_is_erased(block):
+                self.device.erase_block(block, background=True)
+            self._release_block(block)
+        del self._files[name]
+
+    def rename(self, old: str, new: str) -> None:
+        """Rename a file (metadata only, no flash traffic)."""
+        if new in self._files:
+            raise FileExistsError(f"AOFFS file {new!r} already exists")
+        f = self._file(old)
+        f.name = new
+        self._files[new] = f
+        del self._files[old]

@@ -1,0 +1,275 @@
+"""Page/block-granular NAND flash device simulator.
+
+The device enforces the three physical constraints that shape every flash
+system design (§II-B of the paper):
+
+1. **Erase-before-write** — a page can only be programmed if its block has
+   been erased since the page was last written.
+2. **Program order** — pages within a block must be written in order.
+3. **Coarse erase granularity** — erasing is per block (megabytes), not per
+   page, and physically wears the cells (tracked per block).
+
+Timing is charged to a :class:`~repro.perf.clock.SimClock` under the
+``flash`` resource.  Batched operations (:meth:`FlashDevice.read_pages`)
+model a deep command queue: one access latency is paid for the whole batch
+plus bandwidth time for every byte.  Single-page calls pay the full latency
+each time — which is exactly why fine-grained random access destroys
+effective flash bandwidth (the paper's factor-of-2048 example), and why
+sort-reduce's sequentialization wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.clock import SimClock
+from repro.perf.profiles import HardwareProfile
+
+PAGE_ERASED = 0
+PAGE_VALID = 1
+PAGE_INVALID = 2  # written, then superseded; space reclaimable by erase
+
+
+class FlashError(RuntimeError):
+    """A physical-constraint violation (write to un-erased page, etc.)."""
+
+
+@dataclass(frozen=True)
+class FlashGeometry:
+    """Physical layout of the simulated device.
+
+    ``channels`` models the parallel NAND buses of a real card (BlueDBM's
+    flash boards have 8 per card): aggregate bandwidth is only reachable
+    when transfers stripe across channels; a single-page access runs at one
+    channel's share.  The default of 1 keeps the aggregate-bandwidth model
+    used by the calibrated experiments.
+    """
+
+    page_bytes: int
+    pages_per_block: int
+    num_blocks: int
+    channels: int = 1
+
+    def __post_init__(self) -> None:
+        if self.channels < 1:
+            raise ValueError(f"channels must be >= 1, got {self.channels}")
+        if self.channels > self.num_blocks:
+            raise ValueError("more channels than blocks")
+
+    def channel_of(self, block: int) -> int:
+        """Blocks stripe round-robin across channels."""
+        return block % self.channels
+
+    @property
+    def block_bytes(self) -> int:
+        return self.page_bytes * self.pages_per_block
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.block_bytes * self.num_blocks
+
+    @staticmethod
+    def from_profile(profile: HardwareProfile, capacity: int | None = None) -> "FlashGeometry":
+        """Geometry for ``capacity`` bytes using the profile's page/block sizes."""
+        capacity = profile.flash_capacity if capacity is None else capacity
+        block_bytes = profile.flash_page_bytes * profile.flash_block_pages
+        num_blocks = max(4, -(-capacity // block_bytes))
+        return FlashGeometry(
+            page_bytes=profile.flash_page_bytes,
+            pages_per_block=profile.flash_block_pages,
+            num_blocks=num_blocks,
+        )
+
+
+class FlashDevice:
+    """A raw NAND device: data integrity plus timing/wear accounting.
+
+    Page contents are stored as ``bytes``; the simulator is *functional*, so
+    anything an engine writes really does round-trip through the device.
+    """
+
+    def __init__(self, geometry: FlashGeometry, profile: HardwareProfile, clock: SimClock,
+                 traffic_scale: float = 1.0):
+        """``traffic_scale`` discounts charged transfer volume for devices
+        whose datapath stores records densely bit-packed (Fig 7): GraFBoost
+        packs key-value pairs into 256-bit words, so each aligned byte the
+        functional layer moves costs only ``traffic_scale`` bytes of
+        physical flash traffic."""
+        if not 0 < traffic_scale <= 1:
+            raise ValueError(f"traffic_scale must be in (0, 1], got {traffic_scale}")
+        self.geometry = geometry
+        self.profile = profile
+        self.clock = clock
+        self.traffic_scale = traffic_scale
+        n = geometry.num_blocks
+        self._data: dict[tuple[int, int], bytes] = {}
+        self._page_state = [[PAGE_ERASED] * geometry.pages_per_block for _ in range(n)]
+        self._next_program_page = [0] * n
+        self.erase_counts = [0] * n
+        self.total_pages_written = 0
+        self.total_pages_read = 0
+        self.total_blocks_erased = 0
+
+    # ------------------------------------------------------------------ checks
+
+    def _check_block(self, block: int) -> None:
+        if not 0 <= block < self.geometry.num_blocks:
+            raise FlashError(f"block {block} out of range [0, {self.geometry.num_blocks})")
+
+    def _check_page(self, block: int, page: int) -> None:
+        self._check_block(block)
+        if not 0 <= page < self.geometry.pages_per_block:
+            raise FlashError(f"page {page} out of range [0, {self.geometry.pages_per_block})")
+
+    # ------------------------------------------------------------------- reads
+
+    @property
+    def _channel_read_bw(self) -> float:
+        return self.profile.flash_read_bw / self.geometry.channels
+
+    @property
+    def _channel_write_bw(self) -> float:
+        return self.profile.flash_write_bw / self.geometry.channels
+
+    def read_page(self, block: int, page: int) -> bytes:
+        """Random single-page read: full access latency, one channel's share
+        of the bandwidth."""
+        data = self._read_silent(block, page)
+        nbytes = int(len(data) * self.traffic_scale)
+        self.clock.charge(
+            "flash",
+            self.profile.flash_read_latency_s + nbytes / self._channel_read_bw,
+            nbytes=nbytes,
+        )
+        self.total_pages_read += 1
+        return data
+
+    def read_pages(self, addresses: list[tuple[int, int]]) -> list[bytes]:
+        """Batched/streamed read: one latency for the batch, bandwidth for all bytes."""
+        if not addresses:
+            return []
+        out = [self._read_silent(b, p) for b, p in addresses]
+        nbytes = int(sum(len(d) for d in out) * self.traffic_scale)
+        transfer = self._striped_seconds(
+            ((b, len(d)) for (b, _p), d in zip(addresses, out)),
+            self._channel_read_bw)
+        self.clock.charge(
+            "flash",
+            self.profile.flash_read_latency_s + transfer,
+            nbytes=nbytes,
+            ops=len(addresses),
+        )
+        self.total_pages_read += len(addresses)
+        return out
+
+    def _striped_seconds(self, block_sizes, channel_bw: float) -> float:
+        """Transfer time of a batch: channels run in parallel, so the busiest
+        channel decides.  With one channel this is exactly bytes/bandwidth."""
+        channels = self.geometry.channels
+        if channels == 1:
+            total = sum(size for _block, size in block_sizes)
+            return total * self.traffic_scale / (channel_bw * 1)
+        per_channel = [0] * channels
+        for block, size in block_sizes:
+            per_channel[self.geometry.channel_of(block)] += size
+        return max(per_channel) * self.traffic_scale / channel_bw
+
+    def _read_silent(self, block: int, page: int) -> bytes:
+        self._check_page(block, page)
+        state = self._page_state[block][page]
+        if state == PAGE_ERASED:
+            # Reading an erased page returns all-ones in real NAND; engines
+            # must not depend on it, so treat it as a logic error.
+            raise FlashError(f"read of erased page ({block}, {page})")
+        return self._data[(block, page)]
+
+    # ------------------------------------------------------------------ writes
+
+    def write_page(self, block: int, page: int, data: bytes) -> None:
+        """Program one page; enforces erase-before-write and program order."""
+        self._write_silent(block, page, data)
+        nbytes = int(len(data) * self.traffic_scale)
+        self.clock.charge(
+            "flash",
+            self.profile.flash_write_latency_s + nbytes / self._channel_write_bw,
+            nbytes=nbytes,
+        )
+
+    def write_pages(self, writes: list[tuple[int, int, bytes]]) -> None:
+        """Batched sequential program: one latency for the batch."""
+        if not writes:
+            return
+        for block, page, data in writes:
+            self._write_silent(block, page, data)
+        nbytes = int(sum(len(d) for _, _, d in writes) * self.traffic_scale)
+        transfer = self._striped_seconds(
+            ((block, len(d)) for block, _page, d in writes),
+            self._channel_write_bw)
+        self.clock.charge(
+            "flash",
+            self.profile.flash_write_latency_s + transfer,
+            nbytes=nbytes,
+            ops=len(writes),
+        )
+
+    def _write_silent(self, block: int, page: int, data: bytes) -> None:
+        self._check_page(block, page)
+        if len(data) > self.geometry.page_bytes:
+            raise FlashError(f"write of {len(data)} B exceeds page size {self.geometry.page_bytes}")
+        if self._page_state[block][page] != PAGE_ERASED:
+            raise FlashError(f"write to un-erased page ({block}, {page})")
+        if page != self._next_program_page[block]:
+            raise FlashError(
+                f"out-of-order program of page {page} in block {block}; "
+                f"next programmable page is {self._next_program_page[block]}"
+            )
+        self._data[(block, page)] = data
+        self._page_state[block][page] = PAGE_VALID
+        self._next_program_page[block] = page + 1
+        self.total_pages_written += 1
+
+    # ------------------------------------------------------------ invalidation
+
+    def invalidate_page(self, block: int, page: int) -> None:
+        """Mark a written page's contents dead (host/FTL metadata, no flash op)."""
+        self._check_page(block, page)
+        if self._page_state[block][page] != PAGE_VALID:
+            raise FlashError(f"invalidate of non-valid page ({block}, {page})")
+        self._page_state[block][page] = PAGE_INVALID
+        self._data.pop((block, page), None)
+
+    # ------------------------------------------------------------------ erases
+
+    def erase_block(self, block: int, background: bool = False) -> None:
+        """Erase a whole block; any valid pages in it are destroyed.
+
+        ``background=True`` models an erase pipelined by the device behind
+        other work (AOFFS reclaiming deleted files): wear and busy time are
+        still accounted, but the foreground clock does not stall.  GC-driven
+        erases inside an FTL stay foreground — they really do block writes.
+        """
+        self._check_block(block)
+        for page in range(self.geometry.pages_per_block):
+            self._page_state[block][page] = PAGE_ERASED
+            self._data.pop((block, page), None)
+        self._next_program_page[block] = 0
+        self.erase_counts[block] += 1
+        self.total_blocks_erased += 1
+        if background:
+            self.clock.charge_background("flash", self.profile.flash_erase_latency_s)
+        else:
+            self.clock.charge("flash", self.profile.flash_erase_latency_s)
+
+    # ------------------------------------------------------------------- state
+
+    def page_state(self, block: int, page: int) -> int:
+        self._check_page(block, page)
+        return self._page_state[block][page]
+
+    def valid_pages(self, block: int) -> int:
+        self._check_block(block)
+        return sum(1 for s in self._page_state[block] if s == PAGE_VALID)
+
+    def block_is_erased(self, block: int) -> bool:
+        self._check_block(block)
+        return all(s == PAGE_ERASED for s in self._page_state[block])

@@ -1,0 +1,239 @@
+"""File stores: one interface, two storage stacks.
+
+Everything above the storage layer (sort-reduce runs, graph files, vertex
+data) talks to a *file store* with an append/seal/read/delete interface.
+Two implementations exist:
+
+* :class:`~repro.flash.aoffs.AppendOnlyFlashFS` — the paper's AOFFS on raw
+  flash (used by GraFBoost's storage device).
+* :class:`SSDFileSystem` (here) — a conventional file system on a commodity
+  SSD: every operation goes through the page-mapped FTL and pays its
+  translation overhead.  This is what GraFSoft and the baseline systems run
+  on, and the AOFFS-vs-FTL ablation compares the two directly.
+
+The SSD store also supports in-place page updates (:meth:`write_at`), which
+AOFFS deliberately cannot do — baselines that random-update their state
+exercise the FTL's garbage collector exactly as they would a real SSD.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.flash.device import FlashDevice, FlashError
+from repro.flash.ftl import SSD
+
+
+class _SSDFile:
+    __slots__ = ("name", "lpns", "size", "tail", "flushed_pages", "sealed")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.lpns: list[int] = []
+        self.size = 0
+        self.tail = bytearray()
+        self.flushed_pages = 0
+        self.sealed = False
+
+
+class SSDFileSystem:
+    """A minimal extent-per-page file system over an FTL-backed SSD.
+
+    ``prefetch_pages`` models the deep lookahead/readahead a software stack
+    runs on a commodity SSD to hide its access latency (§V-C.3's lookahead
+    buffers, §IV-F's 4 MB transfer chunks): reads shorter than the buffer
+    still transfer the whole buffer, and the overshoot is charged and
+    tracked in ``prefetch_waste_bytes``.
+    """
+
+    def __init__(self, ssd: SSD, prefetch_pages: int = 64):
+        self.ssd = ssd
+        self.prefetch_pages = prefetch_pages
+        self.prefetch_waste_bytes = 0
+        self._files: dict[str, _SSDFile] = {}
+        self._free_lpns: list[int] = list(range(ssd.logical_pages - 1, -1, -1))
+
+    def _charge_prefetch(self, f: _SSDFile, first_page: int, pages_read: int) -> None:
+        """Charge the unused tail of the readahead buffer on a small read.
+
+        Readahead stops at end-of-file, so reading a small file whole wastes
+        nothing; the waste appears on short reads inside large files.
+        """
+        effective = min(self.prefetch_pages, f.flushed_pages - first_page)
+        shortfall = effective - pages_read
+        if shortfall <= 0:
+            return
+        nbytes = shortfall * self.page_bytes
+        profile = self.device.profile
+        self.device.clock.charge("flash", nbytes / profile.flash_read_bw, nbytes=nbytes)
+        self.prefetch_waste_bytes += nbytes
+
+    @property
+    def device(self) -> FlashDevice:
+        return self.ssd.device
+
+    @property
+    def page_bytes(self) -> int:
+        return self.ssd.page_bytes
+
+    # ---------------------------------------------------------------- queries
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def list_files(self) -> list[str]:
+        return sorted(self._files)
+
+    def size(self, name: str) -> int:
+        return self._file(name).size
+
+    @property
+    def free_bytes(self) -> int:
+        return len(self._free_lpns) * self.page_bytes
+
+    def _file(self, name: str) -> _SSDFile:
+        if name not in self._files:
+            raise FileNotFoundError(f"no SSD file named {name!r}")
+        return self._files[name]
+
+    # ---------------------------------------------------------------- writing
+
+    def create(self, name: str) -> None:
+        if name in self._files:
+            raise FileExistsError(f"SSD file {name!r} already exists")
+        self._files[name] = _SSDFile(name)
+
+    def append(self, name: str, data: bytes) -> None:
+        if name not in self._files:
+            self.create(name)
+        f = self._files[name]
+        if f.sealed:
+            raise FlashError(f"append to sealed SSD file {name!r}")
+        f.tail.extend(data)
+        f.size += len(data)
+        self._flush_full_pages(f)
+
+    def _allocate_lpn(self, f: _SSDFile) -> int:
+        if not self._free_lpns:
+            raise FlashError(f"SSD file system out of space appending to {f.name!r}")
+        lpn = self._free_lpns.pop()
+        f.lpns.append(lpn)
+        return lpn
+
+    def _flush_full_pages(self, f: _SSDFile) -> None:
+        page_bytes = self.page_bytes
+        n_full = len(f.tail) // page_bytes
+        if n_full == 0:
+            return
+        writes = []
+        for i in range(n_full):
+            start = i * page_bytes
+            writes.append((self._allocate_lpn(f), bytes(f.tail[start:start + page_bytes])))
+        self.ssd.write_pages(writes)
+        del f.tail[:n_full * page_bytes]
+        f.flushed_pages += n_full
+
+    def seal(self, name: str) -> None:
+        f = self._file(name)
+        if f.sealed:
+            return
+        if f.tail:
+            padded = bytes(f.tail) + b"\x00" * (self.page_bytes - len(f.tail))
+            self.ssd.write_page(self._allocate_lpn(f), padded)
+            f.tail.clear()
+            f.flushed_pages += 1
+        f.sealed = True
+
+    def write_at(self, name: str, offset: int, data: bytes) -> None:
+        """In-place update of already-flushed bytes (page-aligned regions may
+        span pages).  This is the random-update path AOFFS refuses to offer;
+        it reads, modifies and rewrites every touched page through the FTL.
+        """
+        f = self._file(name)
+        flushed_bytes = f.flushed_pages * self.page_bytes
+        if offset < 0 or offset + len(data) > flushed_bytes:
+            raise ValueError(
+                f"write_at [{offset}, {offset + len(data)}) outside flushed "
+                f"region [0, {flushed_bytes}) of {name!r}"
+            )
+        page_bytes = self.page_bytes
+        pos = 0
+        while pos < len(data):
+            page_index, in_page = divmod(offset + pos, page_bytes)
+            n = min(page_bytes - in_page, len(data) - pos)
+            lpn = f.lpns[page_index]
+            page = bytearray(self.ssd.read_page(lpn))
+            page[in_page:in_page + n] = data[pos:pos + n]
+            self.ssd.write_page(lpn, bytes(page))
+            pos += n
+
+    # ---------------------------------------------------------------- reading
+
+    def read(self, name: str, offset: int = 0, nbytes: int | None = None) -> bytes:
+        f = self._file(name)
+        if nbytes is None:
+            nbytes = f.size - offset
+        if offset < 0 or nbytes < 0 or offset + nbytes > f.size:
+            raise ValueError(
+                f"read [{offset}, {offset + nbytes}) out of range for "
+                f"{name!r} of size {f.size}"
+            )
+        if nbytes == 0:
+            return b""
+        page_bytes = self.page_bytes
+        flushed_bytes = f.flushed_pages * page_bytes
+        parts: list[bytes] = []
+        flash_end = min(offset + nbytes, flushed_bytes)
+        if offset < flushed_bytes:
+            first_page = offset // page_bytes
+            last_page = (flash_end - 1) // page_bytes
+            pages = self.ssd.read_pages(f.lpns[first_page:last_page + 1])
+            self._charge_prefetch(f, first_page, last_page + 1 - first_page)
+            blob = b"".join(pages)
+            start = offset - first_page * page_bytes
+            parts.append(blob[start:start + (flash_end - offset)])
+        if offset + nbytes > flushed_bytes:
+            tail_start = max(0, offset - flushed_bytes)
+            tail_end = offset + nbytes - flushed_bytes
+            parts.append(bytes(f.tail[tail_start:tail_end]))
+        return b"".join(parts)
+
+    def stream(self, name: str, chunk_bytes: int):
+        if chunk_bytes <= 0:
+            raise ValueError(f"chunk_bytes must be positive, got {chunk_bytes}")
+        size = self._file(name).size
+        offset = 0
+        while offset < size:
+            n = min(chunk_bytes, size - offset)
+            yield self.read(name, offset, n)
+            offset += n
+
+    # ----------------------------------------------------------- numpy helpers
+
+    def append_array(self, name: str, array: np.ndarray) -> None:
+        self.append(name, np.ascontiguousarray(array).tobytes())
+
+    def read_array(self, name: str, dtype: np.dtype, start_item: int = 0,
+                   count: int | None = None) -> np.ndarray:
+        dtype = np.dtype(dtype)
+        if count is None:
+            count = self.size(name) // dtype.itemsize - start_item
+        raw = self.read(name, start_item * dtype.itemsize, count * dtype.itemsize)
+        return np.frombuffer(raw, dtype=dtype)
+
+    # --------------------------------------------------------------- deletion
+
+    def delete(self, name: str) -> None:
+        f = self._file(name)
+        for lpn in f.lpns:
+            self.ssd.trim(lpn)
+            self._free_lpns.append(lpn)
+        del self._files[name]
+
+    def rename(self, old: str, new: str) -> None:
+        if new in self._files:
+            raise FileExistsError(f"SSD file {new!r} already exists")
+        f = self._file(old)
+        f.name = new
+        self._files[new] = f
+        del self._files[old]

@@ -1,0 +1,233 @@
+"""Page-mapped Flash Translation Layer and the commodity-SSD wrapper.
+
+This is the "off-the-shelf SSD" the baseline systems run on, and the foil for
+AOFFS: a page-level logical-to-physical map, an over-provisioned block pool,
+greedy garbage collection (victim = fewest valid pages) for wear management,
+and a per-operation translation-layer latency overhead.  Random updates are
+legal here — at the cost of write amplification from GC relocations, which
+the ablation benchmark measures directly.
+"""
+
+from __future__ import annotations
+
+from repro.flash.device import FlashDevice, FlashError
+
+#: Extra latency a commodity FTL adds to every host-visible operation
+#: (mapping lookup, queueing, internal scheduling).  Removing this overhead
+#: is one of the stated benefits of AOFFS (§IV-A, §V-C.3).
+DEFAULT_FTL_OVERHEAD_S = 40e-6
+
+
+class PageMappedFTL:
+    """Logical-page to physical-page translation with greedy GC.
+
+    ``overprovision`` reserves a fraction of physical blocks so GC always has
+    somewhere to relocate valid pages; the usable logical capacity shrinks
+    accordingly, like a real SSD.
+    """
+
+    def __init__(self, device: FlashDevice, overprovision: float = 0.08, gc_reserve_blocks: int = 2):
+        if not 0 < overprovision < 1:
+            raise ValueError(f"overprovision must be in (0, 1), got {overprovision}")
+        self.device = device
+        geometry = device.geometry
+        usable_blocks = int(geometry.num_blocks * (1 - overprovision))
+        if usable_blocks < 1:
+            raise ValueError("device too small for requested over-provisioning")
+        self.logical_pages = usable_blocks * geometry.pages_per_block
+        self.gc_reserve_blocks = max(1, gc_reserve_blocks)
+
+        self._map: dict[int, tuple[int, int]] = {}
+        self._reverse: dict[tuple[int, int], int] = {}
+        self._free_blocks: list[int] = list(range(geometry.num_blocks - 1, -1, -1))
+        # Write cursor: the block currently accepting programs, and the next
+        # page to program within it.
+        self._active_block: int | None = None
+        self._active_page = 0
+        self._in_gc = False
+        self.user_pages_written = 0
+        self.gc_relocations = 0
+        self.gc_runs = 0
+
+    # ----------------------------------------------------------------- lookup
+
+    def _check_lpn(self, lpn: int) -> None:
+        if not 0 <= lpn < self.logical_pages:
+            raise FlashError(f"logical page {lpn} out of range [0, {self.logical_pages})")
+
+    def is_mapped(self, lpn: int) -> bool:
+        self._check_lpn(lpn)
+        return lpn in self._map
+
+    def translate(self, lpn: int) -> tuple[int, int]:
+        """Physical (block, page) address of a mapped logical page."""
+        self._check_lpn(lpn)
+        if lpn not in self._map:
+            raise FlashError(f"translate of unwritten logical page {lpn}")
+        return self._map[lpn]
+
+    @property
+    def write_amplification(self) -> float:
+        """Physical pages programmed per user page written (>= 1.0)."""
+        if self.user_pages_written == 0:
+            return 1.0
+        return self.device.total_pages_written / self.user_pages_written
+
+    # ------------------------------------------------------------------- I/O
+
+    def read(self, lpn: int) -> bytes:
+        block, page = self.translate(lpn)
+        return self.device.read_page(block, page)
+
+    def write(self, lpn: int, data: bytes) -> None:
+        """Write/overwrite a logical page; the old physical copy becomes garbage."""
+        self._check_lpn(lpn)
+        block, page = self._allocate_page()
+        self.device.write_page(block, page, data)
+        self._commit_mapping(lpn, block, page)
+
+    def write_many(self, writes: list[tuple[int, bytes]]) -> None:
+        """Batched sequential write: device latency is paid once per block batch.
+
+        Pending allocations are flushed to the device before any garbage
+        collection can run, so GC never erases a block that holds allocated
+        but not-yet-programmed pages.  GC relocations are charged as the
+        individual (random) operations they physically are.
+        """
+        geometry = self.device.geometry
+        pending: list[tuple[int, int, bytes]] = []
+        pending_lpns: list[tuple[int, int, int]] = []
+        for lpn, data in writes:
+            self._check_lpn(lpn)
+            if self._active_block is None or self._active_page >= geometry.pages_per_block:
+                self._flush_batch(pending, pending_lpns)
+                pending, pending_lpns = [], []
+                self._active_block = self._take_free_block()
+                self._active_page = 0
+            block, page = self._active_block, self._active_page
+            self._active_page += 1
+            pending.append((block, page, data))
+            pending_lpns.append((lpn, block, page))
+        self._flush_batch(pending, pending_lpns)
+
+    def _flush_batch(self, pending: list[tuple[int, int, bytes]],
+                     pending_lpns: list[tuple[int, int, int]]) -> None:
+        if not pending:
+            return
+        self.device.write_pages(pending)
+        for lpn, block, page in pending_lpns:
+            self._commit_mapping(lpn, block, page)
+
+    def _commit_mapping(self, lpn: int, block: int, page: int) -> None:
+        old = self._map.get(lpn)
+        if old is not None:
+            self.device.invalidate_page(*old)
+            del self._reverse[old]
+        self._map[lpn] = (block, page)
+        self._reverse[(block, page)] = lpn
+        self.user_pages_written += 1
+
+    def trim(self, lpn: int) -> None:
+        """Discard a logical page (TRIM), making its physical copy garbage."""
+        self._check_lpn(lpn)
+        old = self._map.pop(lpn, None)
+        if old is not None:
+            self.device.invalidate_page(*old)
+            del self._reverse[old]
+
+    # ------------------------------------------------------------- allocation
+
+    def _allocate_page(self) -> tuple[int, int]:
+        geometry = self.device.geometry
+        if self._active_block is None or self._active_page >= geometry.pages_per_block:
+            self._active_block = self._take_free_block()
+            self._active_page = 0
+        block, page = self._active_block, self._active_page
+        self._active_page += 1
+        return block, page
+
+    def _take_free_block(self) -> int:
+        if len(self._free_blocks) <= self.gc_reserve_blocks and not self._in_gc:
+            self._collect_garbage()
+        if not self._free_blocks:
+            raise FlashError("SSD full: garbage collection found no reclaimable space")
+        return self._free_blocks.pop()
+
+    def _collect_garbage(self) -> None:
+        """Greedy GC: relocate the blocks with the fewest valid pages."""
+        geometry = self.device.geometry
+        self._in_gc = True
+        try:
+            candidates = [
+                b for b in range(geometry.num_blocks)
+                if b != self._active_block and b not in self._free_blocks
+            ]
+            while len(self._free_blocks) <= self.gc_reserve_blocks and candidates:
+                victim = min(candidates, key=self.device.valid_pages)
+                if self.device.valid_pages(victim) >= geometry.pages_per_block:
+                    break  # every page valid: erasing gains nothing
+                candidates.remove(victim)
+                self._relocate_and_erase(victim)
+                self.gc_runs += 1
+        finally:
+            self._in_gc = False
+
+    def _relocate_and_erase(self, victim: int) -> None:
+        geometry = self.device.geometry
+        for page in range(geometry.pages_per_block):
+            addr = (victim, page)
+            lpn = self._reverse.get(addr)
+            if lpn is None:
+                continue
+            data = self.device.read_page(victim, page)
+            new_block, new_page = self._allocate_page()
+            self.device.write_page(new_block, new_page, data)
+            self._map[lpn] = (new_block, new_page)
+            self._reverse[(new_block, new_page)] = lpn
+            del self._reverse[addr]
+            self.gc_relocations += 1
+        self.device.erase_block(victim)
+        self._free_blocks.insert(0, victim)
+
+
+class SSD:
+    """A commodity SSD: FTL plus per-op translation overhead charged as time."""
+
+    def __init__(self, device: FlashDevice, overprovision: float = 0.08,
+                 ftl_overhead_s: float = DEFAULT_FTL_OVERHEAD_S):
+        self.device = device
+        self.ftl = PageMappedFTL(device, overprovision=overprovision)
+        self.ftl_overhead_s = ftl_overhead_s
+
+    @property
+    def page_bytes(self) -> int:
+        return self.device.geometry.page_bytes
+
+    @property
+    def logical_pages(self) -> int:
+        return self.ftl.logical_pages
+
+    def read_page(self, lpn: int) -> bytes:
+        self.device.clock.charge("flash", self.ftl_overhead_s)
+        return self.ftl.read(lpn)
+
+    def write_page(self, lpn: int, data: bytes) -> None:
+        self.device.clock.charge("flash", self.ftl_overhead_s)
+        self.ftl.write(lpn, data)
+
+    def read_pages(self, lpns: list[int]) -> list[bytes]:
+        """Sequential/batched read: one FTL overhead for the whole batch."""
+        if not lpns:
+            return []
+        self.device.clock.charge("flash", self.ftl_overhead_s)
+        return self.device.read_pages([self.ftl.translate(lpn) for lpn in lpns])
+
+    def write_pages(self, writes: list[tuple[int, bytes]]) -> None:
+        """Sequential/batched write: one FTL overhead for the whole batch."""
+        if not writes:
+            return
+        self.device.clock.charge("flash", self.ftl_overhead_s)
+        self.ftl.write_many(writes)
+
+    def trim(self, lpn: int) -> None:
+        self.ftl.trim(lpn)

@@ -1,0 +1,113 @@
+"""In-memory compressed sparse row (out-edge list) graph.
+
+The construction intermediate for the flash format, the working structure of
+the in-memory (GraphLab-like) baseline, and the substrate for reference
+algorithm implementations used in cross-validation tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class CSRGraph:
+    """Out-edge adjacency in CSR form.
+
+    ``offsets[v] : offsets[v+1]`` indexes into ``targets`` (and ``weights``
+    when present) for vertex ``v``'s outbound edges.  Edges are sorted by
+    source; target order within a vertex follows input order.
+    """
+
+    def __init__(self, num_vertices: int, offsets: np.ndarray, targets: np.ndarray,
+                 weights: np.ndarray | None = None):
+        offsets = np.asarray(offsets, dtype=np.uint64)
+        targets = np.asarray(targets, dtype=np.uint64)
+        if len(offsets) != num_vertices + 1:
+            raise ValueError(f"offsets length {len(offsets)} != num_vertices+1 ({num_vertices + 1})")
+        if offsets[0] != 0 or offsets[-1] != len(targets):
+            raise ValueError("offsets must start at 0 and end at len(targets)")
+        if np.any(np.diff(offsets.astype(np.int64)) < 0):
+            raise ValueError("offsets must be non-decreasing")
+        if len(targets) and targets.max() >= num_vertices:
+            raise ValueError("edge target out of range")
+        if weights is not None and len(weights) != len(targets):
+            raise ValueError("weights must align with targets")
+        self.num_vertices = num_vertices
+        self.offsets = offsets
+        self.targets = targets
+        self.weights = None if weights is None else np.asarray(weights, dtype=np.float32)
+
+    # -------------------------------------------------------------- factories
+
+    @staticmethod
+    def from_edges(src: np.ndarray, dst: np.ndarray, num_vertices: int,
+                   weights: np.ndarray | None = None) -> "CSRGraph":
+        """Build from parallel source/target arrays (any order, duplicates kept)."""
+        src = np.asarray(src, dtype=np.uint64)
+        dst = np.asarray(dst, dtype=np.uint64)
+        if len(src) != len(dst):
+            raise ValueError(f"src/dst length mismatch: {len(src)} vs {len(dst)}")
+        if weights is not None and len(weights) != len(src):
+            raise ValueError(f"weights length {len(weights)} != edge count {len(src)}")
+        if len(src) and max(src.max(), dst.max()) >= num_vertices:
+            raise ValueError("edge endpoint out of range")
+        order = np.argsort(src, kind="stable")
+        src_sorted = src[order]
+        counts = np.bincount(src_sorted.astype(np.int64), minlength=num_vertices)
+        offsets = np.zeros(num_vertices + 1, dtype=np.uint64)
+        np.cumsum(counts, out=offsets[1:])
+        w = None if weights is None else np.asarray(weights)[order]
+        return CSRGraph(num_vertices, offsets, dst[order], w)
+
+    # -------------------------------------------------------------- properties
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.targets)
+
+    @property
+    def has_weights(self) -> bool:
+        return self.weights is not None
+
+    @property
+    def nbytes(self) -> int:
+        """In-memory footprint of the structure (what GraphLab must hold)."""
+        total = self.offsets.nbytes + self.targets.nbytes
+        if self.weights is not None:
+            total += self.weights.nbytes
+        return total
+
+    def out_degrees(self) -> np.ndarray:
+        return np.diff(self.offsets.astype(np.int64)).astype(np.uint64)
+
+    def out_degree(self, v: int) -> int:
+        return int(self.offsets[v + 1] - self.offsets[v])
+
+    def neighbors(self, v: int) -> np.ndarray:
+        return self.targets[int(self.offsets[v]):int(self.offsets[v + 1])]
+
+    def edge_weights(self, v: int) -> np.ndarray | None:
+        if self.weights is None:
+            return None
+        return self.weights[int(self.offsets[v]):int(self.offsets[v + 1])]
+
+    # ------------------------------------------------------------- operations
+
+    def reversed(self) -> "CSRGraph":
+        """The transpose graph (in-edge lists), needed by pull-style consumers."""
+        src = np.repeat(
+            np.arange(self.num_vertices, dtype=np.uint64),
+            np.diff(self.offsets.astype(np.int64)),
+        )
+        return CSRGraph.from_edges(self.targets, src, self.num_vertices, self.weights)
+
+    def edge_list(self) -> tuple[np.ndarray, np.ndarray]:
+        """(src, dst) arrays in CSR order."""
+        src = np.repeat(
+            np.arange(self.num_vertices, dtype=np.uint64),
+            np.diff(self.offsets.astype(np.int64)),
+        )
+        return src, self.targets.copy()
+
+    def __repr__(self) -> str:
+        return f"CSRGraph(n={self.num_vertices}, m={self.num_edges}, weighted={self.has_weights})"

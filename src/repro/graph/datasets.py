@@ -1,0 +1,149 @@
+"""The Table I dataset registry, parameterized by a scale factor.
+
+Each entry records the paper's published statistics (nodes, edges, edge
+factor, binary and text sizes) and knows how to synthesize a structurally
+analogous graph at ``scale_factor`` times the vertex count.  Scaled
+experiments shrink the DRAM budgets by the same factor
+(:meth:`~repro.perf.profiles.HardwareProfile.scaled`), so every
+"memory as a percentage of vertex data" point of Fig 13 lands where the
+paper's does.
+
+The default :data:`DEFAULT_SCALE` (2^-14) keeps the largest graph (wdc,
+128 B edges in the paper) under ten million edges — tractable for the
+pure-Python functional simulation while still forcing multi-level external
+merges at the scaled DRAM sizes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph import generators
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+#: Default linear vertex-count scale for scaled-down experiments.
+DEFAULT_SCALE = 2.0 ** -14
+
+
+@dataclass(frozen=True)
+class GraphDataset:
+    """One row of Table I plus its synthesizer."""
+
+    name: str
+    paper_nodes: int
+    paper_edges: int
+    paper_edgefactor: int
+    paper_size_bytes: int      # column-compressed binary encoding (Table I "size")
+    paper_txt_bytes: int       # text edge-list size (Table I "txtsize")
+    make_edges: Callable[[float, int], tuple[np.ndarray, np.ndarray, int]]
+
+    def scaled_nodes(self, scale_factor: float) -> int:
+        return max(16, int(self.paper_nodes * scale_factor))
+
+    def scaled_edges(self, scale_factor: float) -> int:
+        return self.scaled_nodes(scale_factor) * self.paper_edgefactor
+
+    def edges(self, scale_factor: float = DEFAULT_SCALE, seed: int = 1,
+              ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Synthesize (src, dst, num_vertices) at the requested scale."""
+        if scale_factor <= 0 or scale_factor > 1:
+            raise ValueError(f"scale_factor must be in (0, 1], got {scale_factor}")
+        return self.make_edges(scale_factor, seed)
+
+    def vertex_data_bytes(self, scale_factor: float = DEFAULT_SCALE,
+                          value_bytes: int = 8) -> int:
+        """Size of the dense vertex array V — Fig 13's 100% reference point."""
+        return self.scaled_nodes(scale_factor) * value_bytes
+
+
+def _kron(paper_scale: int, edgefactor: int):
+    def make(scale_factor: float, seed: int) -> tuple[np.ndarray, np.ndarray, int]:
+        shrink_bits = max(0, round(-math.log2(scale_factor)))
+        return generators.kronecker_edges(
+            max(4, paper_scale - shrink_bits), edgefactor, seed=seed
+        )
+    return make
+
+
+def _twitter(scale_factor: float, seed: int) -> tuple[np.ndarray, np.ndarray, int]:
+    n = max(64, int(41_000_000 * scale_factor))
+    return generators.powerlaw_edges(n, n * 36, exponent=1.3, seed=seed)
+
+
+def _wdc(scale_factor: float, seed: int) -> tuple[np.ndarray, np.ndarray, int]:
+    n = max(64, int(3_000_000_000 * scale_factor))
+    return generators.webcrawl_edges(n, edgefactor=43, seed=seed)
+
+
+DATASETS: dict[str, GraphDataset] = {
+    "twitter": GraphDataset(
+        name="twitter",
+        paper_nodes=41_000_000,
+        paper_edges=1_470_000_000,
+        paper_edgefactor=36,
+        paper_size_bytes=6 * GB,
+        paper_txt_bytes=25 * GB,
+        make_edges=_twitter,
+    ),
+    "kron28": GraphDataset(
+        name="kron28",
+        paper_nodes=268_000_000,
+        paper_edges=4_000_000_000,
+        paper_edgefactor=16,
+        paper_size_bytes=18 * GB,
+        paper_txt_bytes=88 * GB,
+        make_edges=_kron(28, 16),
+    ),
+    "kron30": GraphDataset(
+        name="kron30",
+        paper_nodes=1_000_000_000,
+        paper_edges=17_000_000_000,
+        paper_edgefactor=16,
+        paper_size_bytes=72 * GB,
+        paper_txt_bytes=351 * GB,
+        make_edges=_kron(30, 16),
+    ),
+    "kron32": GraphDataset(
+        name="kron32",
+        paper_nodes=4_000_000_000,
+        paper_edges=32_000_000_000,
+        paper_edgefactor=8,
+        paper_size_bytes=128 * GB,
+        paper_txt_bytes=295 * GB,
+        make_edges=_kron(32, 8),
+    ),
+    "wdc": GraphDataset(
+        name="wdc",
+        paper_nodes=3_000_000_000,
+        paper_edges=128_000_000_000,
+        paper_edgefactor=43,
+        paper_size_bytes=502 * GB,
+        paper_txt_bytes=2648 * GB,
+        make_edges=_wdc,
+    ),
+}
+
+
+def dataset_by_name(name: str) -> GraphDataset:
+    try:
+        return DATASETS[name]
+    except KeyError:
+        known = ", ".join(sorted(DATASETS))
+        raise KeyError(f"unknown dataset {name!r}; known: {known}") from None
+
+
+def build_graph(name: str, scale_factor: float = DEFAULT_SCALE, seed: int = 1,
+                weighted: bool = False) -> CSRGraph:
+    """Synthesize a dataset and return it as an in-memory CSR graph."""
+    dataset = dataset_by_name(name)
+    src, dst, n = dataset.edges(scale_factor, seed)
+    weights = generators.random_weights(len(src), seed=seed) if weighted else None
+    return CSRGraph.from_edges(src, dst, n, weights)

@@ -1,0 +1,156 @@
+"""Synthetic graph generators for the paper's five evaluation datasets.
+
+The paper evaluates on Graph500 Kronecker graphs (kron28/30/32), the twitter
+follower graph, and the Web Data Commons hyperlink crawl (Table I).  Real
+multi-terabyte inputs are unavailable offline, so each is synthesized with
+the structural property that drives its results:
+
+* :func:`kronecker_edges` — the Graph500 reference R-MAT recursion
+  (A=0.57, B=0.19, C=0.19, D=0.05), giving the skewed degree distribution
+  that makes reduction collapse most updates early.
+* :func:`powerlaw_edges` — a Zipf-attachment "twitter"-like social graph:
+  few supersteps, extreme hubs, >80% phase-0 reduction (Fig 14).
+* :func:`webcrawl_edges` — a "wdc"-like web graph: host-local chain links
+  plus hub links, engineered to give BFS a very long sparse tail of
+  supersteps — the property that makes X-Stream take "23 days" (§V-C.1).
+* :func:`uniform_edges` — Erdős–Rényi-style uniform edges for tests.
+
+All generators are deterministic given a seed and return (src, dst) uint64
+arrays; duplicate edges and self-loops are kept, as in Graph500 inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Graph500 initiator matrix probabilities.
+KRON_A, KRON_B, KRON_C = 0.57, 0.19, 0.19
+
+
+def kronecker_edges(scale: int, edgefactor: int = 16, seed: int = 1,
+                    ) -> tuple[np.ndarray, np.ndarray, int]:
+    """Graph500 Kronecker generator: 2**scale vertices, edgefactor per vertex.
+
+    Returns (src, dst, num_vertices).  Vertex ids are permuted as the
+    Graph500 spec requires, so vertex id does not correlate with degree.
+    """
+    if scale < 1 or scale > 30:
+        raise ValueError(f"kronecker scale out of supported range [1, 30]: {scale}")
+    n = 1 << scale
+    m = n * edgefactor
+    rng = np.random.default_rng(seed)
+    src = np.zeros(m, dtype=np.uint64)
+    dst = np.zeros(m, dtype=np.uint64)
+    ab = KRON_A + KRON_B
+    c_norm = KRON_C / (1.0 - ab)
+    a_norm = KRON_A / ab
+    for bit in range(scale):
+        r1 = rng.random(m)
+        r2 = rng.random(m)
+        src_bit = r1 > ab
+        dst_bit = r2 > np.where(src_bit, c_norm, a_norm)
+        src |= src_bit.astype(np.uint64) << np.uint64(bit)
+        dst |= dst_bit.astype(np.uint64) << np.uint64(bit)
+    perm = rng.permutation(n).astype(np.uint64)
+    return perm[src.astype(np.int64)], perm[dst.astype(np.int64)], n
+
+
+def rmat_edges(scale: int, edgefactor: int, a: float, b: float, c: float,
+               seed: int = 1) -> tuple[np.ndarray, np.ndarray, int]:
+    """General R-MAT with caller-chosen quadrant probabilities."""
+    if not 0 < a + b + c < 1:
+        raise ValueError(f"a+b+c must be in (0, 1), got {a + b + c}")
+    n = 1 << scale
+    m = n * edgefactor
+    rng = np.random.default_rng(seed)
+    src = np.zeros(m, dtype=np.uint64)
+    dst = np.zeros(m, dtype=np.uint64)
+    ab = a + b
+    c_norm = c / (1.0 - ab)
+    a_norm = a / ab
+    for bit in range(scale):
+        src_bit = rng.random(m) > ab
+        dst_bit = rng.random(m) > np.where(src_bit, c_norm, a_norm)
+        src |= src_bit.astype(np.uint64) << np.uint64(bit)
+        dst |= dst_bit.astype(np.uint64) << np.uint64(bit)
+    return src, dst, n
+
+
+def _zipf_ids(rng: np.random.Generator, n: int, count: int, exponent: float) -> np.ndarray:
+    """Sample ``count`` vertex ids from an (approximate) Zipf distribution
+    over ``n`` ids via inverse-CDF sampling of a bounded Pareto."""
+    u = rng.random(count)
+    # Inverse CDF of p(x) ∝ x^-exponent on [1, n].
+    if exponent == 1.0:
+        ids = np.exp(u * np.log(n))
+    else:
+        e = 1.0 - exponent
+        ids = (u * (n ** e - 1.0) + 1.0) ** (1.0 / e)
+    return np.minimum(ids.astype(np.uint64), np.uint64(n - 1))
+
+
+def powerlaw_edges(num_vertices: int, num_edges: int, exponent: float = 1.3,
+                   seed: int = 1) -> tuple[np.ndarray, np.ndarray, int]:
+    """Twitter-like social graph: both endpoints Zipf-skewed, shuffled ids."""
+    if num_vertices < 2:
+        raise ValueError(f"need at least 2 vertices, got {num_vertices}")
+    rng = np.random.default_rng(seed)
+    src = _zipf_ids(rng, num_vertices, num_edges, exponent)
+    dst = _zipf_ids(rng, num_vertices, num_edges, exponent)
+    perm = rng.permutation(num_vertices).astype(np.uint64)
+    return perm[src.astype(np.int64)], perm[dst.astype(np.int64)], num_vertices
+
+
+def webcrawl_edges(num_vertices: int, edgefactor: int = 43, chain_fraction: float = 0.3,
+                   tail_fraction: float = 0.02, seed: int = 1,
+                   ) -> tuple[np.ndarray, np.ndarray, int]:
+    """WDC-like web crawl: hub-skewed links plus host-local chains and a
+    long pendant path.
+
+    Structure: ``tail_fraction`` of the vertices form one long directed
+    chain hanging off the main component (the thousands-of-sparse-supersteps
+    BFS tail the paper observed on WDC); the rest mix next-vertex "host
+    navigation" links with Zipf-distributed hub links.
+    """
+    if num_vertices < 16:
+        raise ValueError(f"webcrawl graph needs >= 16 vertices, got {num_vertices}")
+    if not 0 <= tail_fraction < 0.5:
+        raise ValueError(f"tail_fraction must be in [0, 0.5), got {tail_fraction}")
+    rng = np.random.default_rng(seed)
+    n_tail = int(num_vertices * tail_fraction)
+    n_core = num_vertices - n_tail
+    m_core = n_core * edgefactor
+
+    n_chain = int(m_core * chain_fraction)
+    chain_src = rng.integers(0, n_core - 1, n_chain).astype(np.uint64)
+    chain_dst = chain_src + np.uint64(1)
+
+    n_hub = m_core - n_chain
+    hub_src = rng.integers(0, n_core, n_hub).astype(np.uint64)
+    hub_dst = _zipf_ids(rng, n_core, n_hub, 1.4)
+
+    # The pendant path: core vertex 0 → n_core → n_core+1 → … (one edge each),
+    # giving BFS exactly n_tail extra supersteps with one active vertex.
+    tail_ids = np.arange(n_core, num_vertices, dtype=np.uint64)
+    tail_src = np.concatenate([[np.uint64(0)], tail_ids[:-1]]) if n_tail else np.empty(0, np.uint64)
+    tail_dst = tail_ids
+
+    src = np.concatenate([chain_src, hub_src, tail_src])
+    dst = np.concatenate([chain_dst, hub_dst, tail_dst])
+    return src, dst, num_vertices
+
+
+def uniform_edges(num_vertices: int, num_edges: int, seed: int = 1,
+                  ) -> tuple[np.ndarray, np.ndarray, int]:
+    """Uniform random (Erdős–Rényi-style multigraph) edges, for tests."""
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, num_vertices, num_edges).astype(np.uint64)
+    dst = rng.integers(0, num_vertices, num_edges).astype(np.uint64)
+    return src, dst, num_vertices
+
+
+def random_weights(num_edges: int, seed: int = 1, low: float = 0.1,
+                   high: float = 10.0) -> np.ndarray:
+    """Uniform edge weights for SSSP-style workloads."""
+    rng = np.random.default_rng(seed)
+    return rng.uniform(low, high, num_edges).astype(np.float32)

@@ -1,0 +1,159 @@
+"""Graph import/export: text edge lists and packed binary.
+
+The paper's datasets arrive as multi-hundred-gigabyte text edge lists
+(Table I's "txtsize" column — WDC is 2.6 TB of text) and are converted into
+GraFBoost's compressed binary format before analysis.  This module provides
+that ingestion path for real inputs:
+
+* :func:`read_edge_list` / :func:`write_edge_list` — whitespace-separated
+  ``src dst [weight]`` text, comment lines ignored (the format of SNAP,
+  Graph500 and WDC distributions).
+* :func:`read_binary_edges` / :func:`write_binary_edges` — packed
+  little-endian uint64 pairs (plus optional float32 weights), the compact
+  on-disk interchange form.
+* :func:`load_graph_file` — sniffs the format and returns a
+  :class:`~repro.graph.csr.CSRGraph` ready for
+  :meth:`~repro.engine.config.SystemConfig.load_graph`.
+
+Everything streams in bounded chunks, so converting a file never needs the
+whole edge list in memory at once beyond the final CSR build.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Iterator
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+#: Magic prefix of the packed binary format.
+BINARY_MAGIC = b"GRFB"
+_FLAG_WEIGHTED = 1
+
+
+def parse_edge_lines(lines: Iterator[str]) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Parse ``src dst [weight]`` lines; '#' and '%' lines are comments."""
+    srcs: list[int] = []
+    dsts: list[int] = []
+    weights: list[float] = []
+    saw_weight = None
+    for line_number, line in enumerate(lines, 1):
+        text = line.strip()
+        if not text or text.startswith(("#", "%")):
+            continue
+        fields = text.split()
+        if len(fields) not in (2, 3):
+            raise ValueError(
+                f"line {line_number}: expected 'src dst [weight]', got {text!r}")
+        if saw_weight is None:
+            saw_weight = len(fields) == 3
+        elif saw_weight != (len(fields) == 3):
+            raise ValueError(
+                f"line {line_number}: mixed weighted and unweighted edges")
+        try:
+            srcs.append(int(fields[0]))
+            dsts.append(int(fields[1]))
+            if saw_weight:
+                weights.append(float(fields[2]))
+        except ValueError as error:
+            raise ValueError(f"line {line_number}: {error}") from None
+        if srcs[-1] < 0 or dsts[-1] < 0:
+            raise ValueError(f"line {line_number}: negative vertex id")
+    src = np.array(srcs, dtype=np.uint64)
+    dst = np.array(dsts, dtype=np.uint64)
+    w = np.array(weights, dtype=np.float32) if saw_weight else None
+    return src, dst, w
+
+
+def read_edge_list(path: str) -> CSRGraph:
+    """Load a text edge list into a CSR graph.
+
+    The vertex count is one past the largest id seen.
+    """
+    with open(path, "r") as f:
+        src, dst, weights = parse_edge_lines(f)
+    if len(src) == 0:
+        raise ValueError(f"{path}: no edges found")
+    num_vertices = int(max(src.max(), dst.max())) + 1
+    return CSRGraph.from_edges(src, dst, num_vertices, weights)
+
+
+def write_edge_list(graph: CSRGraph, path: str) -> None:
+    """Write a CSR graph as a text edge list (one edge per line)."""
+    src, dst = graph.edge_list()
+    with open(path, "w") as f:
+        f.write(f"# {graph.num_vertices} vertices, {graph.num_edges} edges\n")
+        if graph.has_weights:
+            for s, d, w in zip(src, dst, graph.weights):
+                f.write(f"{int(s)} {int(d)} {float(w):g}\n")
+        else:
+            for s, d in zip(src, dst):
+                f.write(f"{int(s)} {int(d)}\n")
+
+
+def write_binary_edges(graph: CSRGraph, path: str) -> None:
+    """Write the packed binary form: magic, header, then edge records."""
+    src, dst = graph.edge_list()
+    flags = _FLAG_WEIGHTED if graph.has_weights else 0
+    header = np.array([graph.num_vertices, graph.num_edges, flags],
+                      dtype="<u8")
+    with open(path, "wb") as f:
+        f.write(BINARY_MAGIC)
+        f.write(header.tobytes())
+        f.write(src.astype("<u8").tobytes())
+        f.write(dst.astype("<u8").tobytes())
+        if graph.has_weights:
+            f.write(graph.weights.astype("<f4").tobytes())
+
+
+def read_binary_edges(path: str) -> CSRGraph:
+    """Load the packed binary form written by :func:`write_binary_edges`."""
+    with open(path, "rb") as f:
+        magic = f.read(4)
+        if magic != BINARY_MAGIC:
+            raise ValueError(f"{path}: not a GraFBoost binary edge file")
+        header_bytes = f.read(24)
+        if len(header_bytes) != 24:
+            raise ValueError(f"{path}: truncated header")
+        header = np.frombuffer(header_bytes, dtype="<u8")
+        num_vertices, num_edges, flags = (int(header[0]), int(header[1]),
+                                          int(header[2]))
+
+        def read_exact(nbytes: int, what: str) -> bytes:
+            data = f.read(nbytes)
+            if len(data) != nbytes:
+                raise ValueError(f"{path}: truncated {what} data")
+            return data
+
+        src = np.frombuffer(read_exact(8 * num_edges, "edge"), dtype="<u8")
+        dst = np.frombuffer(read_exact(8 * num_edges, "edge"), dtype="<u8")
+        weights = None
+        if flags & _FLAG_WEIGHTED:
+            weights = np.frombuffer(read_exact(4 * num_edges, "weight"),
+                                    dtype="<f4")
+    return CSRGraph.from_edges(src.copy(), dst.copy(), num_vertices,
+                               None if weights is None else weights.copy())
+
+
+def load_graph_file(path: str) -> CSRGraph:
+    """Sniff text vs binary and load either."""
+    with open(path, "rb") as f:
+        prefix = f.read(4)
+    if prefix == BINARY_MAGIC:
+        return read_binary_edges(path)
+    return read_edge_list(path)
+
+
+def text_size_estimate(graph: CSRGraph) -> int:
+    """Estimated text edge-list size (the Table I "txtsize" column)."""
+    buffer = io.StringIO()
+    src, dst = graph.edge_list()
+    sample = min(256, graph.num_edges)
+    for s, d in zip(src[:sample], dst[:sample]):
+        buffer.write(f"{int(s)} {int(d)}\n")
+    if sample == 0:
+        return 0
+    return int(len(buffer.getvalue()) / sample * graph.num_edges)

@@ -1,0 +1,394 @@
+"""The vertex value array ``V``: dense base plus lazy sorted overlays.
+
+AOFFS forbids random updates, and the paper's abstract calls out the
+solution: "GraFBoost stores newly updated vertex values generated in each
+superstep lazily with the old vertex values".  Concretely, ``V`` is
+
+* an optional **dense base file** of per-vertex records, and
+* a stack of **sorted sparse overlays**, one appended per superstep with the
+  finalized values of that superstep's active vertices.
+
+Because every reader of ``V`` (the lazy superstep of Algorithm 3) walks keys
+in sorted order, each overlay is read sequentially at most once per
+superstep through a :class:`VertexScanCursor`.  When the overlay stack gets
+deep, :meth:`VertexArray.compact` merges everything into a fresh dense base
+with one sequential pass — still append-only.
+
+Each record also stores the superstep index of its last update, which
+Algorithm 4 (PageRank's custom active-list generation) uses to ignore stale
+sort-reduced values (§III-C).
+
+Sparse-frontier algorithms (BFS on the WDC graph runs for *thousands* of
+supersteps, §V-C.2) would otherwise touch every overlay on every lookup, so
+each overlay keeps small host-memory metadata — key range plus a bloom
+filter, exactly like an LSM tree's per-SSTable filters — letting lookups
+skip overlays that cannot contain the queried keys without any flash I/O.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bloom import BloomFilter
+from repro.core.kvstream import KVArray
+from repro.graph.formats import coalesce_ranges
+
+_va_counter = itertools.count()
+
+#: Superstep marker for "never updated".
+NEVER = -1
+
+#: Records per chunk when scanning overlays/base sequentially.
+SCAN_CHUNK_RECORDS = 1 << 16
+
+
+def _record_dtype(value_dtype: np.dtype) -> np.dtype:
+    return np.dtype([("v", np.dtype(value_dtype)), ("step", "<i8")])
+
+
+def _overlay_dtype(value_dtype: np.dtype) -> np.dtype:
+    return np.dtype([("k", "<u8"), ("v", np.dtype(value_dtype)), ("step", "<i8")])
+
+
+@dataclass
+class Overlay:
+    """One superstep's sorted sparse update file plus its host-memory
+    skip metadata (key range and bloom filter, like an LSM SSTable)."""
+
+    name: str
+    count: int
+    min_key: int
+    max_key: int
+    bloom: BloomFilter
+
+    def may_contain(self, sorted_keys: np.ndarray) -> bool:
+        """False only if no queried key can possibly be in this overlay."""
+        if len(sorted_keys) == 0:
+            return False
+        if int(sorted_keys[-1]) < self.min_key or int(sorted_keys[0]) > self.max_key:
+            return False
+        in_range = sorted_keys[
+            (sorted_keys >= np.uint64(self.min_key))
+            & (sorted_keys <= np.uint64(self.max_key))
+        ]
+        if len(in_range) == 0:
+            return False
+        # Dense probes always pass; bloom checks pay off on sparse frontiers.
+        if len(in_range) > 256:
+            return True
+        return bool(self.bloom.contains(in_range).any())
+
+
+class VertexArray:
+    """``V`` on flash: default-valued until written, append-only thereafter."""
+
+    def __init__(self, store, num_vertices: int, value_dtype: np.dtype,
+                 default_value, prefix: str | None = None, max_overlays: int = 8):
+        if num_vertices < 1:
+            raise ValueError(f"num_vertices must be >= 1, got {num_vertices}")
+        if max_overlays < 1:
+            raise ValueError(f"max_overlays must be >= 1, got {max_overlays}")
+        self.store = store
+        self.num_vertices = num_vertices
+        self.value_dtype = np.dtype(value_dtype)
+        self.default_value = default_value
+        self.prefix = prefix or f"vertexdata-{next(_va_counter)}"
+        self.max_overlays = max_overlays
+        self._base_generation = 0
+        self._base_materialized = False
+        self._overlays: list[Overlay] = []
+        self._overlay_counter = 0
+        self.compactions = 0
+
+    # ---------------------------------------------------------------- naming
+
+    @property
+    def _base_file(self) -> str:
+        return f"{self.prefix}:base-{self._base_generation}"
+
+    # ---------------------------------------------------------------- staging
+
+    def stage(self, updates: KVArray, step: int) -> None:
+        """Append one superstep's finalized active-vertex values as an overlay.
+
+        ``updates`` must be strictly key-sorted (it comes out of sort-reduce,
+        so it is).  Staging never compacts — open cursors would be
+        invalidated mid-superstep; the engine calls :meth:`maybe_compact`
+        between supersteps instead.
+        """
+        writer = self.overlay_writer(step)
+        writer.add(updates)
+        writer.close()
+
+    def overlay_writer(self, step: int) -> "OverlayWriter":
+        """Incrementally build one superstep's overlay from sorted chunks.
+
+        Algorithm 3 stages active-vertex updates while it scans ``newV``;
+        the writer appends them to a single overlay file and registers it on
+        close (empty overlays are dropped).
+        """
+        return OverlayWriter(self, step)
+
+    def maybe_compact(self) -> bool:
+        """Compact if the overlay stack is deeper than ``max_overlays``.
+
+        Call between supersteps, never while a cursor is open.
+        """
+        if len(self._overlays) > self.max_overlays:
+            self.compact()
+            return True
+        return False
+
+    # ---------------------------------------------------------------- lookups
+
+    def cursor(self) -> "VertexScanCursor":
+        """A sequential reader for one sorted pass over the key space."""
+        return VertexScanCursor(self)
+
+    def read_values(self, sorted_keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """One-shot sorted lookup (convenience over a fresh cursor)."""
+        return self.cursor().lookup(sorted_keys)
+
+    def scan(self, chunk_records: int = SCAN_CHUNK_RECORDS):
+        """Yield (keys, values, steps) over the full key space, merged."""
+        cursor = self.cursor()
+        for start in range(0, self.num_vertices, chunk_records):
+            keys = np.arange(start, min(start + chunk_records, self.num_vertices),
+                             dtype=np.uint64)
+            values, steps = cursor.lookup(keys)
+            yield keys, values, steps
+
+    def final_values(self) -> np.ndarray:
+        """Collect the whole array in memory (result extraction / tests)."""
+        out = np.empty(self.num_vertices, dtype=self.value_dtype)
+        for keys, values, _steps in self.scan():
+            out[keys.astype(np.int64)] = values
+        return out
+
+    # ------------------------------------------------------------- compaction
+
+    def compact(self) -> None:
+        """Merge base + overlays into a fresh dense base (sequential pass)."""
+        new_generation = self._base_generation + 1
+        new_name = f"{self.prefix}:base-{new_generation}"
+        rec_dtype = _record_dtype(self.value_dtype)
+        for keys, values, steps in self.scan():
+            records = np.empty(len(keys), dtype=rec_dtype)
+            records["v"] = values
+            records["step"] = steps
+            self.store.append(new_name, records.tobytes())
+        self.store.seal(new_name)
+        if self._base_materialized:
+            self.store.delete(self._base_file)
+        for overlay in self._overlays:
+            self.store.delete(overlay.name)
+        self._overlays = []
+        self._base_generation = new_generation
+        self._base_materialized = True
+        self.compactions += 1
+
+    @property
+    def overlay_depth(self) -> int:
+        return len(self._overlays)
+
+    def overlays(self) -> list[Overlay]:
+        """The live overlays, oldest first.
+
+        With compaction disabled, overlay ``i`` is exactly superstep ``i``'s
+        active-vertex list — what betweenness centrality backtraces over.
+        """
+        return list(self._overlays)
+
+    @property
+    def nbytes_on_flash(self) -> int:
+        total = 0
+        if self._base_materialized:
+            total += self.store.size(self._base_file)
+        for overlay in self._overlays:
+            total += self.store.size(overlay.name)
+        return total
+
+
+class OverlayWriter:
+    """Builds one overlay file from ascending sorted update chunks."""
+
+    def __init__(self, array: VertexArray, step: int):
+        self.array = array
+        self.step = step
+        self.name = f"{array.prefix}:overlay-{array._overlay_counter}"
+        array._overlay_counter += 1
+        self.count = 0
+        self._last_key = -1
+        self._min_key = None
+        self._key_chunks: list[np.ndarray] = []
+        self._closed = False
+
+    def add(self, updates: KVArray) -> None:
+        if self._closed:
+            raise RuntimeError("add() after close()")
+        if len(updates) == 0:
+            return
+        if updates.value_dtype != self.array.value_dtype:
+            raise ValueError(f"value dtype {updates.value_dtype} != {self.array.value_dtype}")
+        if not updates.is_strictly_sorted():
+            raise ValueError("overlay updates must be strictly key-sorted")
+        if int(updates.keys[0]) <= self._last_key:
+            raise ValueError("overlay chunks must be ascending across calls")
+        if int(updates.keys[-1]) >= self.array.num_vertices:
+            raise ValueError("update key out of range")
+        if self._min_key is None:
+            self._min_key = int(updates.keys[0])
+        self._last_key = int(updates.keys[-1])
+        self._key_chunks.append(updates.keys.copy())
+        records = np.empty(len(updates), dtype=_overlay_dtype(self.array.value_dtype))
+        records["k"] = updates.keys
+        records["v"] = updates.values
+        records["step"] = self.step
+        self.array.store.append(self.name, records.tobytes())
+        self.count += len(updates)
+
+    def close(self) -> int:
+        """Seal and register the overlay; returns the staged record count."""
+        if self._closed:
+            return self.count
+        self._closed = True
+        if self.count == 0:
+            return 0
+        self.array.store.seal(self.name)
+        bloom = BloomFilter(max(64, self.count * 10), num_hashes=3)
+        for keys in self._key_chunks:
+            bloom.add(keys)
+        self._key_chunks = []
+        self.array._overlays.append(Overlay(
+            name=self.name, count=self.count,
+            min_key=self._min_key, max_key=self._last_key, bloom=bloom,
+        ))
+        return self.count
+
+
+class _OverlayCursor:
+    """Sequential chunked reader of one sorted overlay file."""
+
+    __slots__ = ("store", "overlay", "dtype", "pos", "buffer")
+
+    def __init__(self, store, overlay: Overlay, dtype: np.dtype):
+        self.store = store
+        self.overlay = overlay
+        self.dtype = dtype
+        self.pos = 0
+        self.buffer = np.empty(0, dtype=dtype)
+
+    @property
+    def name(self) -> str:
+        return self.overlay.name
+
+    @property
+    def count(self) -> int:
+        return self.overlay.count
+
+    def advance_to(self, max_key: int) -> None:
+        """Ensure the buffer covers all records with key <= max_key."""
+        item = self.dtype.itemsize
+        while self.pos < self.count and (
+            len(self.buffer) == 0 or int(self.buffer["k"][-1]) <= max_key
+        ):
+            n = min(SCAN_CHUNK_RECORDS, self.count - self.pos)
+            raw = self.store.read(self.name, self.pos * item, n * item)
+            chunk = np.frombuffer(raw, dtype=self.dtype)
+            self.buffer = np.concatenate([self.buffer, chunk]) if len(self.buffer) else chunk
+            self.pos += n
+
+    def extract(self, sorted_keys: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return (query positions, values, steps) of matches, then discard
+        everything at or below the last queried key."""
+        if len(sorted_keys) == 0 or len(self.buffer) == 0:
+            return (np.empty(0, np.intp),) * 3  # type: ignore[return-value]
+        idx = np.searchsorted(self.buffer["k"], sorted_keys)
+        valid = idx < len(self.buffer)
+        hits = np.zeros(len(sorted_keys), dtype=bool)
+        hits[valid] = self.buffer["k"][idx[valid]] == sorted_keys[valid]
+        positions = np.flatnonzero(hits)
+        values = self.buffer["v"][idx[hits]]
+        steps = self.buffer["step"][idx[hits]]
+        cutoff = int(np.searchsorted(self.buffer["k"], sorted_keys[-1], side="right"))
+        self.buffer = self.buffer[cutoff:]
+        return positions, values, steps
+
+
+class VertexScanCursor:
+    """Sorted-pass reader over a :class:`VertexArray`.
+
+    Successive :meth:`lookup` calls must present non-decreasing key ranges
+    (each call's keys sorted, and each call's first key at or after the
+    previous call's last).  That is exactly the access pattern of
+    Algorithm 3, and it lets every overlay be streamed once.
+    """
+
+    def __init__(self, array: VertexArray):
+        self.array = array
+        dtype = _overlay_dtype(array.value_dtype)
+        self._overlays = [
+            _OverlayCursor(array.store, overlay, dtype)
+            for overlay in array._overlays
+        ]
+        self._last_key = -1
+
+    def lookup(self, sorted_keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Values and last-update steps for a sorted key array."""
+        sorted_keys = np.asarray(sorted_keys, dtype=np.uint64)
+        if len(sorted_keys) == 0:
+            return (np.empty(0, self.array.value_dtype), np.empty(0, np.int64))
+        keys_i = sorted_keys.astype(np.int64)
+        if np.any(keys_i[1:] < keys_i[:-1]):
+            raise ValueError("lookup requires sorted keys")
+        if keys_i[0] < self._last_key:
+            raise ValueError(
+                f"cursor moved backwards: key {keys_i[0]} after {self._last_key}"
+            )
+        if keys_i[-1] >= self.array.num_vertices:
+            raise ValueError("vertex id out of range")
+        self._last_key = int(keys_i[-1])
+
+        values = np.full(len(sorted_keys), self.array.default_value,
+                         dtype=self.array.value_dtype)
+        steps = np.full(len(sorted_keys), NEVER, dtype=np.int64)
+        if self.array._base_materialized:
+            self._gather_base(keys_i, values, steps)
+        max_key = int(keys_i[-1])
+        for cursor in self._overlays:  # older overlays first; newer overwrite
+            # Host-memory range/bloom metadata skips overlays that cannot
+            # hold any queried key — no flash I/O for them at all.
+            if len(cursor.buffer) == 0 and not cursor.overlay.may_contain(sorted_keys):
+                continue
+            cursor.advance_to(max_key)
+            positions, v, s = cursor.extract(sorted_keys)
+            values[positions] = v
+            steps[positions] = s
+        return values, steps
+
+    def _gather_base(self, keys_i: np.ndarray, values: np.ndarray,
+                     steps: np.ndarray) -> None:
+        array = self.array
+        dtype = _record_dtype(array.value_dtype)
+        item = dtype.itemsize
+        profile = array.store.device.profile
+        gap_bytes = max(int(profile.flash_read_latency_s * profile.flash_read_bw),
+                        profile.flash_page_bytes)
+        gap = max(1, gap_bytes // item)
+        spans = coalesce_ranges(keys_i, keys_i + 1, gap)
+        span_index = 0
+        block: np.ndarray | None = None
+        for qi, key in enumerate(keys_i):
+            while block is None or key >= spans[span_index][1]:
+                if block is not None:
+                    span_index += 1
+                span_start, span_end = spans[span_index]
+                raw = array.store.read(array._base_file, span_start * item,
+                                       (span_end - span_start) * item)
+                block = np.frombuffer(raw, dtype=dtype)
+            records = block[key - spans[span_index][0]]
+            values[qi] = records["v"]
+            steps[qi] = records["step"]

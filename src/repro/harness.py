@@ -1,0 +1,264 @@
+"""Evaluation harness: runs (system × algorithm × dataset) cells and emits
+the rows behind every table and figure of the paper's §V.
+
+The benchmark files under ``benchmarks/`` are thin wrappers over this
+module: they pick the workload matrix of one figure, run it, and print the
+same rows/series the paper reports.  Keeping the logic here makes the same
+sweeps scriptable from user code and testable.
+
+Systems are addressed by the paper's names:
+
+* ``GraFBoost`` / ``GraFBoost2`` / ``GraFSoft`` — the engines of this
+  library (fully functional through the simulated flash stack).
+* ``GraphLab`` / ``GraphLab5`` / ``FlashGraph`` / ``X-Stream`` /
+  ``GraphChi`` — the baseline strategy models.
+
+Every run returns a :class:`WorkloadResult`; a DNF (out of memory, id-space
+or patience cutoff) carries ``elapsed_s = NaN`` exactly like the missing
+bars and ``*`` marks in the figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.bc import run_betweenness_centrality
+from repro.algorithms.bfs import run_bfs
+from repro.algorithms.pagerank import run_pagerank
+from repro.baselines import (
+    ClusterInMemoryEngine,
+    EdgeCentricEngine,
+    InMemoryEngine,
+    SemiExternalEngine,
+    ShardedExternalEngine,
+)
+from repro.baselines.base import DNF_CUTOFF_UNLIMITED
+from repro.baselines.semiexternal import VERTEX_ID_SPACE
+from repro.engine.config import make_system
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import DEFAULT_SCALE, build_graph, dataset_by_name
+from repro.perf.profiles import (
+    GB,
+    GRAFBOOST,
+    GRAFBOOST2,
+    GRAFSOFT,
+    HardwareProfile,
+    SERVER_SSD_ARRAY,
+    SINGLE_SSD_SERVER,
+)
+import dataclasses
+
+#: Fig 15 configuration: "GraFBoost also used only one flash card ...
+#: matching 512 GB capacity and 1.2 GB/s bandwidth" (§V-D).
+GRAFBOOST_ONE_CARD = dataclasses.replace(
+    GRAFBOOST, name="GraFBoost-1card", flash_capacity=512 * GB,
+    flash_read_bw=1.2 * GB, flash_write_bw=0.5 * GB)
+
+GRAFBOOST_FAMILY = ("GraFBoost", "GraFBoost2", "GraFSoft")
+BASELINE_SYSTEMS = ("GraphLab", "GraphLab5", "FlashGraph", "X-Stream", "GraphChi")
+ALGORITHMS = ("pagerank", "bfs", "bc")
+
+_GRAPH_CACHE: dict[tuple, CSRGraph] = {}
+
+
+def load_dataset(name: str, scale: float = DEFAULT_SCALE, seed: int = 1) -> CSRGraph:
+    """Build (and memoize) a dataset at the requested scale."""
+    key = (name, scale, seed)
+    if key not in _GRAPH_CACHE:
+        _GRAPH_CACHE[key] = build_graph(name, scale, seed=seed)
+    return _GRAPH_CACHE[key]
+
+
+def default_root(graph: CSRGraph) -> int:
+    """First vertex with outbound edges — the BFS/BC source."""
+    degrees = graph.out_degrees()
+    nonzero = np.flatnonzero(degrees > 0)
+    if len(nonzero) == 0:
+        raise ValueError("graph has no edges")
+    return int(nonzero[0])
+
+
+@dataclass
+class WorkloadResult:
+    """One cell of an evaluation matrix."""
+
+    system: str
+    algorithm: str
+    dataset: str
+    completed: bool
+    elapsed_s: float
+    supersteps: int = 0
+    traversed_edges: int = 0
+    cpu_busy_s: float = 0.0
+    flash_bytes: int = 0
+    memory_bytes: int = 0
+    dnf_reason: str = ""
+
+    @property
+    def time_or_nan(self) -> float:
+        return self.elapsed_s if self.completed else float("nan")
+
+    @property
+    def mteps(self) -> float:
+        if not self.completed or self.elapsed_s <= 0:
+            return 0.0
+        return self.traversed_edges / self.elapsed_s / 1e6
+
+
+def run_grafboost_system(kind: str, graph: CSRGraph, algorithm: str,
+                         scale: float = DEFAULT_SCALE,
+                         dram_bytes: int | None = None,
+                         profile: HardwareProfile | None = None,
+                         dataset: str = "?", seed_root: int | None = None,
+                         pagerank_iterations: int = 1) -> WorkloadResult:
+    """Run one of the GraFBoost-family engines on an algorithm."""
+    system = make_system(kind.lower(), scale, dram_bytes=dram_bytes,
+                         num_vertices_hint=graph.num_vertices, profile=profile)
+    flash_graph = system.load_graph(graph)
+    engine = system.engine_for(flash_graph, graph.num_vertices)
+    root = default_root(graph) if seed_root is None else seed_root
+
+    if algorithm == "pagerank":
+        result = run_pagerank(engine, graph.num_vertices,
+                              iterations=pagerank_iterations)
+        elapsed, supersteps, traversed = (result.elapsed_s, result.num_supersteps,
+                                          result.total_traversed_edges)
+    elif algorithm == "bfs":
+        result = run_bfs(engine, root)
+        elapsed, supersteps, traversed = (result.elapsed_s, result.num_supersteps,
+                                          result.total_traversed_edges)
+    elif algorithm == "bc":
+        bc = run_betweenness_centrality(engine, root)
+        elapsed, supersteps, traversed = (bc.elapsed_s, bc.num_supersteps,
+                                          bc.total_traversed_edges)
+    else:
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+
+    clock = system.clock
+    return WorkloadResult(
+        system=kind, algorithm=algorithm, dataset=dataset, completed=True,
+        elapsed_s=elapsed, supersteps=supersteps, traversed_edges=traversed,
+        cpu_busy_s=clock.busy_s("cpu") + clock.busy_s("accel"),
+        flash_bytes=clock.bytes_moved("flash"),
+        memory_bytes=system.memory.peak,
+    )
+
+
+_BASELINE_CLASSES = {
+    "GraphLab": InMemoryEngine,
+    "GraphLab5": ClusterInMemoryEngine,
+    "FlashGraph": SemiExternalEngine,
+    "X-Stream": EdgeCentricEngine,
+    "GraphChi": ShardedExternalEngine,
+}
+
+
+def run_baseline_system(name: str, graph: CSRGraph, algorithm: str,
+                        profile: HardwareProfile,
+                        scale: float = DEFAULT_SCALE,
+                        cutoff_s: float = DNF_CUTOFF_UNLIMITED,
+                        dataset: str = "?", seed_root: int | None = None,
+                        pagerank_iterations: int = 1) -> WorkloadResult:
+    """Run one baseline strategy model on an algorithm."""
+    try:
+        engine_cls = _BASELINE_CLASSES[name]
+    except KeyError:
+        known = ", ".join(sorted(_BASELINE_CLASSES))
+        raise KeyError(f"unknown baseline {name!r}; known: {known}") from None
+    kwargs = {"cutoff_s": cutoff_s}
+    if engine_cls is SemiExternalEngine:
+        # FlashGraph's 32-bit ids hold at most 2^32 - 1 vertices (scaled):
+        # WDC (~0.7 * 2^32) loads, kron32 (exactly 2^32) cannot (Fig 12a).
+        kwargs["max_vertices"] = max(1, int(VERTEX_ID_SPACE * scale) - 1)
+    engine = engine_cls(graph, profile, **kwargs)
+    root = default_root(graph) if seed_root is None else seed_root
+
+    if algorithm == "pagerank":
+        result = engine.run_pagerank(iterations=pagerank_iterations)
+    elif algorithm == "bfs":
+        result = engine.run_bfs(root)
+    elif algorithm == "bc":
+        result = engine.run_bc(root)
+    else:
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+
+    return WorkloadResult(
+        system=name, algorithm=algorithm, dataset=dataset,
+        completed=result.completed, elapsed_s=result.time_or_nan,
+        supersteps=result.supersteps, traversed_edges=result.traversed_edges,
+        cpu_busy_s=result.cpu_busy_s, flash_bytes=result.flash_bytes,
+        memory_bytes=result.peak_memory, dnf_reason=result.dnf_reason,
+    )
+
+
+def run_cell(system: str, graph: CSRGraph, algorithm: str,
+             scale: float = DEFAULT_SCALE,
+             server_profile: HardwareProfile | None = None,
+             dram_bytes: int | None = None,
+             cutoff_s: float = DNF_CUTOFF_UNLIMITED,
+             dataset: str = "?",
+             pagerank_iterations: int = 1,
+             grafboost_profile: HardwareProfile | None = None) -> WorkloadResult:
+    """Dispatch one (system, algorithm) cell with shared conventions.
+
+    ``server_profile`` is the host every *software* system runs on (the
+    32-core server, possibly with a Fig 13 DRAM override); the GraFBoost
+    accelerator stacks always use their own device profiles, with
+    ``dram_bytes`` only affecting GraFSoft.
+    """
+    if server_profile is None:
+        server_profile = SERVER_SSD_ARRAY.scaled(scale)
+    if dram_bytes is not None:
+        server_profile = server_profile.with_dram(dram_bytes)
+    if system in GRAFBOOST_FAMILY:
+        # GraFBoost's accelerator memory never depends on host DRAM; GraFSoft
+        # is capped at its own 16 GB regardless of the machine (§I).
+        # ``grafboost_profile`` overrides the storage device for the
+        # accelerated systems (Fig 15 uses a single flash card).
+        profile = grafboost_profile if system != "GraFSoft" else None
+        return run_grafboost_system(system, graph, algorithm, scale=scale,
+                                    dataset=dataset, profile=profile,
+                                    pagerank_iterations=pagerank_iterations)
+    return run_baseline_system(system, graph, algorithm, server_profile,
+                               scale=scale, cutoff_s=cutoff_s, dataset=dataset,
+                               pagerank_iterations=pagerank_iterations)
+
+
+def run_matrix(systems: list[str], algorithms: list[str], dataset: str,
+               scale: float = DEFAULT_SCALE, seed: int = 1,
+               server_profile: HardwareProfile | None = None,
+               dram_bytes: int | None = None,
+               patience_factor: float = 50.0) -> list[WorkloadResult]:
+    """Run a full figure matrix: all systems on all algorithms of a dataset.
+
+    The experiment's patience (the paper stopped runs "taking too long"
+    manually) is ``patience_factor`` times the slowest completed
+    GraFBoost-family time per algorithm.
+    """
+    graph = load_dataset(dataset, scale, seed)
+    results: list[WorkloadResult] = []
+    for algorithm in algorithms:
+        reference_times: list[float] = []
+        for system in systems:
+            if system in GRAFBOOST_FAMILY:
+                cell = run_cell(system, graph, algorithm, scale=scale,
+                                server_profile=server_profile,
+                                dram_bytes=dram_bytes, dataset=dataset)
+                reference_times.append(cell.elapsed_s)
+                results.append(cell)
+        cutoff = (max(reference_times) * patience_factor
+                  if reference_times else DNF_CUTOFF_UNLIMITED)
+        for system in systems:
+            if system not in GRAFBOOST_FAMILY:
+                results.append(run_cell(system, graph, algorithm, scale=scale,
+                                        server_profile=server_profile,
+                                        dram_bytes=dram_bytes,
+                                        cutoff_s=cutoff, dataset=dataset))
+    return results
+
+
+def results_by(results: list[WorkloadResult], algorithm: str) -> dict[str, WorkloadResult]:
+    """Index one algorithm's results by system name."""
+    return {r.system: r for r in results if r.algorithm == algorithm}

@@ -1,0 +1,142 @@
+"""Plain-text table/series formatting for the benchmark harness.
+
+The benchmark files regenerate the paper's tables and figures as text: tables
+become aligned rows, figures become series of (x, y) points.  Keeping the
+formatting in one place makes every bench print comparable output.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Render an aligned ASCII table.
+
+    >>> print(format_table(["name", "n"], [["a", 1], ["bb", 22]]))
+    name | n
+    -----+---
+    a    | 1
+    bb   | 22
+    """
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row width {len(row)} != header width {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN marks DNF entries
+            return "DNF"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def normalize_series(values: Sequence[float], baseline: float) -> list[float]:
+    """Normalize performance values against a baseline time.
+
+    The paper's Fig 12/13a plot *performance* normalized to GraFSoft, i.e.
+    ``baseline_time / system_time`` — higher is faster.  DNF entries (NaN or
+    non-positive) normalize to 0.0, matching the "x" marks in the figures.
+    """
+    if baseline <= 0:
+        raise ValueError(f"baseline time must be positive, got {baseline}")
+    out = []
+    for v in values:
+        if v is None or v != v or v <= 0:
+            out.append(0.0)
+        else:
+            out.append(baseline / v)
+    return out
+
+
+def superstep_timeline(supersteps, max_rows: int = 20) -> str:
+    """Per-superstep breakdown table from a run's SuperstepMetrics list.
+
+    Long runs (the WDC BFS tail has hundreds of supersteps) are sampled
+    down to ``max_rows`` evenly spaced rows plus the last one.
+    """
+    if not supersteps:
+        return "(no supersteps)"
+    steps = list(supersteps)
+    if len(steps) > max_rows:
+        stride = len(steps) / (max_rows - 1)
+        picked = [steps[int(i * stride)] for i in range(max_rows - 1)]
+        picked.append(steps[-1])
+        steps = picked
+    rows = []
+    for s in steps:
+        rows.append([
+            s.superstep,
+            f"{s.activated:,}",
+            f"{s.traversed_edges:,}",
+            f"{s.update_pairs:,}",
+            f"{s.reduced_pairs:,}",
+            f"{s.elapsed_s * 1000:.3f}",
+            human_bytes(s.flash_bytes),
+        ])
+    return format_table(
+        ["step", "active", "edges", "updates", "reduced", "ms", "flash"],
+        rows, title="Per-superstep timeline")
+
+
+def emit_results(name: str, text: str, directory: str | None = None) -> str:
+    """Print a benchmark's regenerated table/figure and persist it.
+
+    Benchmarks both print (visible with ``pytest -s``) and write to
+    ``benchmarks/results/<name>.txt`` so the regenerated paper artifacts
+    survive output capturing.  Returns the file path.
+    """
+    import os
+
+    directory = directory or os.path.join("benchmarks", "results")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.txt")
+    with open(path, "w") as f:
+        f.write(text.rstrip() + "\n")
+    print(f"\n{text}\n[written to {path}]")
+    return path
+
+
+def human_bytes(nbytes: float) -> str:
+    """Human-readable byte count (``1536`` → ``'1.5 KB'``)."""
+    units = ["B", "KB", "MB", "GB", "TB", "PB"]
+    value = float(nbytes)
+    for unit in units:
+        if abs(value) < 1024 or unit == units[-1]:
+            if unit == "B":
+                return f"{int(value)} B"
+            return f"{value:.1f} {unit}"
+        value /= 1024
+    raise AssertionError("unreachable")
+
+
+def human_seconds(seconds: float) -> str:
+    """Human-readable duration (``90`` → ``'1m30s'``)."""
+    if seconds != seconds:
+        return "DNF"
+    if seconds < 1:
+        return f"{seconds * 1000:.1f}ms"
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(seconds, 60)
+    if minutes < 60:
+        return f"{int(minutes)}m{int(secs)}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{int(hours)}h{int(minutes)}m"

@@ -1,0 +1,103 @@
+"""Betweenness centrality: traversal plus sort-reduced backtracing."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bc import run_betweenness_centrality
+from repro.algorithms.bfs import UNVISITED
+from repro.algorithms.reference import bfs_tree_descendants, validate_parents
+from repro.engine.config import make_system
+from repro.graph.datasets import build_graph
+
+SCALE = 2.0 ** -15
+
+
+def run_on(graph, root, kind="grafsoft"):
+    system = make_system(kind, SCALE, num_vertices_hint=graph.num_vertices)
+    flash_graph = system.load_graph(graph)
+    engine = system.engine_for(flash_graph, graph.num_vertices)
+    return run_betweenness_centrality(engine, root)
+
+
+def test_bc_on_tiny_graph(tiny_graph):
+    result = run_on(tiny_graph, root=0)
+    # Tree: 0 -> {1, 2}, one of them -> 3, 3 -> 4.
+    centrality = result.centrality
+    assert centrality[0] == 4.0  # root: all four reachable descendants
+    assert centrality[3] == 1.0  # one descendant (4)
+    assert centrality[4] == 0.0
+    assert centrality[5] == 0.0  # unreachable
+    assert centrality[1] + centrality[2] == 2.0  # 3 hangs off exactly one
+
+
+def test_bc_matches_reference(random_graph):
+    root = int(np.flatnonzero(random_graph.out_degrees() > 0)[0])
+    result = run_on(random_graph, root)
+    parents = result.forward.final_values()
+    assert validate_parents(random_graph, root, parents, UNVISITED)
+    expected = bfs_tree_descendants(random_graph, root, parents, UNVISITED)
+    assert np.allclose(result.centrality, expected)
+
+
+def test_bc_on_kron():
+    graph = build_graph("kron28", SCALE, seed=3)
+    root = int(np.flatnonzero(graph.out_degrees() > 0)[0])
+    result = run_on(graph, root, kind="grafboost")
+    parents = result.forward.final_values()
+    expected = bfs_tree_descendants(graph, root, parents, UNVISITED)
+    assert np.allclose(result.centrality, expected)
+    # Backtracing really ran sort-reduces: one per level below the root
+    # (the final superstep may be empty and produce no level list).
+    levels = result.forward.vertices.overlay_depth
+    assert len(result.backtrace_stats) == levels - 1
+    assert result.backtrace_elapsed_s > 0
+    assert result.elapsed_s > result.forward.elapsed_s
+
+
+def test_bc_root_credit_counts_reachable(random_graph):
+    root = int(np.flatnonzero(random_graph.out_degrees() > 0)[0])
+    result = run_on(random_graph, root)
+    parents = result.forward.final_values()
+    reachable = int((parents != UNVISITED).sum()) - 1  # excluding the root
+    assert result.centrality[root] == reachable
+
+
+def test_bc_engine_restores_overlay_policy(random_graph):
+    system = make_system("grafsoft", SCALE, num_vertices_hint=random_graph.num_vertices)
+    flash_graph = system.load_graph(random_graph)
+    engine = system.engine_for(flash_graph, random_graph.num_vertices)
+    saved = engine.max_overlays
+    root = int(np.flatnonzero(random_graph.out_degrees() > 0)[0])
+    run_betweenness_centrality(engine, root)
+    assert engine.max_overlays == saved
+
+
+def test_multi_source_bc_sums_contributions(random_graph):
+    from repro.algorithms.bc import run_betweenness_centrality_multi
+
+    roots = np.flatnonzero(random_graph.out_degrees() > 0)[:3].tolist()
+    system = make_system("grafsoft", SCALE, num_vertices_hint=random_graph.num_vertices)
+    flash_graph = system.load_graph(random_graph)
+    engine = system.engine_for(flash_graph, random_graph.num_vertices)
+    multi = run_betweenness_centrality_multi(engine, roots)
+
+    expected = np.zeros(random_graph.num_vertices)
+    for root in roots:
+        single_system = make_system("grafsoft", SCALE,
+                                    num_vertices_hint=random_graph.num_vertices)
+        single_graph = single_system.load_graph(random_graph)
+        single_engine = single_system.engine_for(single_graph,
+                                                 random_graph.num_vertices)
+        expected += run_betweenness_centrality(single_engine, root).centrality
+    assert np.allclose(multi.centrality, expected)
+    assert len(multi.backtrace_stats) > 0
+
+
+def test_multi_source_bc_requires_roots(random_graph):
+    from repro.algorithms.bc import run_betweenness_centrality_multi
+
+    system = make_system("grafsoft", SCALE, num_vertices_hint=random_graph.num_vertices)
+    flash_graph = system.load_graph(random_graph)
+    engine = system.engine_for(flash_graph, random_graph.num_vertices)
+    with pytest.raises(ValueError):
+        run_betweenness_centrality_multi(engine, [])

@@ -1,0 +1,191 @@
+"""PageRank: program, measured iteration, Algorithm 4 custom actives."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.pagerank import PageRankProgram, run_pagerank, run_pagerank_alg4
+from repro.algorithms.reference import pagerank_push
+from repro.engine.config import make_system
+from repro.graph.datasets import build_graph
+from repro.graph.formats import FlashCSR
+
+SCALE = 2.0 ** -15
+
+
+@pytest.fixture(scope="module")
+def kron():
+    return build_graph("kron28", SCALE, seed=5)
+
+
+def make_engine(graph, kind="grafsoft"):
+    system = make_system(kind, SCALE, num_vertices_hint=graph.num_vertices)
+    flash_graph = system.load_graph(graph)
+    return system, system.engine_for(flash_graph, graph.num_vertices)
+
+
+def test_program_pieces():
+    program = PageRankProgram(num_vertices=100)
+    assert program.default_value == pytest.approx(0.01)
+    messages = program.edge_program(
+        np.array([0.4, 0.9]), None, None, np.array([2, 3], dtype=np.uint64))
+    assert np.allclose(messages, [0.2, 0.3])
+    finalized = program.finalize(np.array([0.5]), np.zeros(1))
+    assert finalized[0] == pytest.approx(0.15 / 100 + 0.85 * 0.5)
+    # 1/N is the fixed point of finalize (the all-active seed trick).
+    assert program.finalize(np.array([0.01]), np.zeros(1))[0] == pytest.approx(0.01)
+
+
+def test_program_validation():
+    with pytest.raises(ValueError):
+        PageRankProgram(0)
+    with pytest.raises(ValueError):
+        PageRankProgram(10, damping=1.0)
+    with pytest.raises(ValueError):
+        run_pagerank(None, 10, iterations=0)
+
+
+def test_first_iteration_exact(kron):
+    _, engine = make_engine(kron)
+    result = run_pagerank(engine, kron.num_vertices, iterations=1)
+    assert np.allclose(result.final_values(), pagerank_push(kron, 1), atol=1e-14)
+
+
+def test_rank_is_conserved_modulo_damping(kron):
+    _, engine = make_engine(kron)
+    result = run_pagerank(engine, kron.num_vertices, iterations=1)
+    ranks = result.final_values()
+    assert (ranks > 0).all()
+    # Total mass stays near 1 (exact only without dangling vertices).
+    assert ranks.sum() == pytest.approx(1.0, rel=0.2)
+
+
+def test_engine_iterations_update_receivers(kron):
+    # Multi-iteration run_pagerank pushes only from vertices in newV
+    # (vertices with inbound edges); no-inbound sources stop pushing after
+    # superstep 0 — the exact behaviour Algorithm 4 exists to fix.  The
+    # reference below mirrors those semantics precisely.
+    _, engine = make_engine(kron)
+    two = run_pagerank(engine, kron.num_vertices, iterations=2).final_values()
+
+    n = kron.num_vertices
+    damping = 0.85
+    rank1 = pagerank_push(kron, 1)
+    src, dst = kron.edge_list()
+    src_i, dst_i = src.astype(np.int64), dst.astype(np.int64)
+    degrees = kron.out_degrees().astype(np.float64)
+    has_inbound = np.zeros(n, dtype=bool)
+    has_inbound[dst_i] = True
+    pushing = has_inbound[src_i] & (degrees[src_i] > 0)
+    contributions = np.zeros(n)
+    np.add.at(contributions, dst_i[pushing], rank1[src_i[pushing]] / degrees[src_i[pushing]])
+    receives = np.zeros(n, dtype=bool)
+    receives[dst_i[pushing]] = True
+    expected = np.where(receives, (1 - damping) / n + damping * contributions, rank1)
+    assert np.allclose(two, expected, atol=1e-14)
+
+
+def test_alg4_exact_with_zero_tolerance(kron):
+    system, _ = make_engine(kron)
+    out_graph = FlashCSR.write(system.store, "out", kron)
+    in_graph = FlashCSR.write(system.store, "in", kron.reversed())
+    result = run_pagerank_alg4(
+        system.store, system.backend, out_graph, in_graph, kron.num_vertices,
+        system.chunk_bytes, iterations=3, tol=0.0, memory=system.memory)
+    assert np.allclose(result.final_values(), pagerank_push(kron, 3), atol=1e-12)
+    assert result.num_supersteps == 3
+
+
+def test_alg4_tolerance_bounds_error(kron):
+    system, _ = make_engine(kron)
+    out_graph = FlashCSR.write(system.store, "out", kron)
+    in_graph = FlashCSR.write(system.store, "in", kron.reversed())
+    result = run_pagerank_alg4(
+        system.store, system.backend, out_graph, in_graph, kron.num_vertices,
+        system.chunk_bytes, iterations=10, tol=1e-9, memory=system.memory)
+    # Delta-filtered activation is approximate: a vertex whose rank
+    # transiently stops moving freezes.  The error stays tiny.
+    assert np.abs(result.final_values() - pagerank_push(kron, 10)).max() < 1e-3
+
+
+def test_alg4_converges_and_stops_early(kron):
+    system, _ = make_engine(kron)
+    out_graph = FlashCSR.write(system.store, "out", kron)
+    in_graph = FlashCSR.write(system.store, "in", kron.reversed())
+    result = run_pagerank_alg4(
+        system.store, system.backend, out_graph, in_graph, kron.num_vertices,
+        system.chunk_bytes, iterations=500, tol=1e-7, memory=system.memory)
+    assert result.num_supersteps < 500  # quiesced before the limit
+    converged = pagerank_push(kron, 200)
+    assert np.abs(result.final_values() - converged).max() < 1e-3
+
+
+def test_alg4_activity_shrinks_over_iterations(kron):
+    system, _ = make_engine(kron)
+    out_graph = FlashCSR.write(system.store, "out", kron)
+    in_graph = FlashCSR.write(system.store, "in", kron.reversed())
+    result = run_pagerank_alg4(
+        system.store, system.backend, out_graph, in_graph, kron.num_vertices,
+        system.chunk_bytes, iterations=30, tol=1e-6, memory=system.memory)
+    activated = [s.activated for s in result.supersteps]
+    assert activated[-1] < activated[0]
+
+
+def test_alg4_frees_bloom_memory(kron):
+    system, _ = make_engine(kron)
+    out_graph = FlashCSR.write(system.store, "out", kron)
+    in_graph = FlashCSR.write(system.store, "in", kron.reversed())
+    in_use_before = system.memory.in_use
+    run_pagerank_alg4(system.store, system.backend, out_graph, in_graph,
+                      kron.num_vertices, system.chunk_bytes, iterations=2,
+                      memory=system.memory)
+    assert system.memory.in_use == in_use_before
+
+
+def test_weighted_pagerank_matches_dense_reference():
+    from repro.algorithms.pagerank import (
+        WeightedPageRankProgram,
+        out_weight_sums,
+        run_weighted_pagerank,
+    )
+    from repro.graph.csr import CSRGraph
+    from repro.graph.generators import random_weights, uniform_edges
+
+    src, dst, n = uniform_edges(400, 3200, seed=31)
+    weights = random_weights(3200, seed=31)
+    graph = CSRGraph.from_edges(src, dst, n, weights)
+    system, engine = None, None
+    system = make_system("grafsoft", SCALE, num_vertices_hint=n)
+    flash_graph = system.load_graph(graph)
+    engine = system.engine_for(flash_graph, n)
+    result = run_weighted_pagerank(engine, graph, iterations=1)
+
+    # Dense reference with identical semantics.
+    damping = 0.85
+    sums = out_weight_sums(graph)
+    src_i, dst_i = src.astype(np.int64), dst.astype(np.int64)
+    rank = np.full(n, 1.0 / n)
+    contributions = np.zeros(n)
+    np.add.at(contributions, dst_i,
+              rank[src_i] * weights.astype(np.float64) / sums[src_i])
+    has_inbound = np.zeros(n, dtype=bool)
+    has_inbound[dst_i] = True
+    expected = np.where(has_inbound, (1 - damping) / n + damping * contributions,
+                        rank)
+    assert np.allclose(result.final_values(), expected, atol=1e-14)
+
+
+def test_weighted_pagerank_validation():
+    from repro.algorithms.pagerank import WeightedPageRankProgram, out_weight_sums
+    from repro.graph.csr import CSRGraph
+    from repro.graph.generators import uniform_edges
+
+    src, dst, n = uniform_edges(10, 40, seed=1)
+    unweighted = CSRGraph.from_edges(src, dst, n)
+    with pytest.raises(ValueError, match="weights"):
+        out_weight_sums(unweighted)
+    with pytest.raises(ValueError, match="length"):
+        WeightedPageRankProgram(10, np.ones(5))
+    program = WeightedPageRankProgram(10, np.ones(10))
+    with pytest.raises(ValueError, match="weighted graph"):
+        program.edge_program(np.ones(2), np.zeros(2, dtype=np.uint64), None,
+                             np.ones(2, dtype=np.uint64))

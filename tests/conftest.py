@@ -1,0 +1,66 @@
+"""Shared fixtures: small simulated stacks and graphs for fast tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.flash.aoffs import AppendOnlyFlashFS
+from repro.flash.device import FlashDevice, FlashGeometry
+from repro.flash.filestore import SSDFileSystem
+from repro.flash.ftl import SSD
+from repro.graph.csr import CSRGraph
+from repro.perf.clock import SimClock
+from repro.perf.profiles import GRAFBOOST, GRAFSOFT
+
+
+SMALL_GEOMETRY = FlashGeometry(page_bytes=4096, pages_per_block=16, num_blocks=256)
+
+
+@pytest.fixture
+def clock() -> SimClock:
+    return SimClock()
+
+
+@pytest.fixture
+def device(clock) -> FlashDevice:
+    return FlashDevice(SMALL_GEOMETRY, GRAFSOFT, clock)
+
+
+@pytest.fixture
+def raw_device(clock) -> FlashDevice:
+    return FlashDevice(SMALL_GEOMETRY, GRAFBOOST, clock)
+
+
+@pytest.fixture
+def aoffs(raw_device) -> AppendOnlyFlashFS:
+    return AppendOnlyFlashFS(raw_device)
+
+
+@pytest.fixture
+def ssd_fs(device) -> SSDFileSystem:
+    return SSDFileSystem(SSD(device))
+
+
+@pytest.fixture
+def tiny_graph() -> CSRGraph:
+    """A 6-vertex graph with a known structure:
+
+        0 -> 1, 2
+        1 -> 3
+        2 -> 3
+        3 -> 4
+        5 is isolated
+    """
+    src = np.array([0, 0, 1, 2, 3], dtype=np.uint64)
+    dst = np.array([1, 2, 3, 3, 4], dtype=np.uint64)
+    return CSRGraph.from_edges(src, dst, 6)
+
+
+@pytest.fixture
+def random_graph() -> CSRGraph:
+    """A reproducible 500-vertex random multigraph."""
+    rng = np.random.default_rng(1234)
+    src = rng.integers(0, 500, 4000).astype(np.uint64)
+    dst = rng.integers(0, 500, 4000).astype(np.uint64)
+    return CSRGraph.from_edges(src, dst, 500)

@@ -1,0 +1,96 @@
+"""KVArray: construction, sorting, serialization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.kvstream import KVArray, record_dtype
+
+
+def test_construction_validates_alignment():
+    with pytest.raises(ValueError):
+        KVArray(np.array([1, 2], dtype=np.uint64), np.array([1.0]))
+    with pytest.raises(ValueError):
+        KVArray(np.zeros((2, 2)), np.zeros(4))
+
+
+def test_from_pairs_and_len():
+    kv = KVArray.from_pairs([(3, 1.5), (1, 2.5)], np.float64)
+    assert len(kv) == 2
+    assert kv.keys.dtype == np.dtype("<u8")
+    assert kv.value_dtype == np.float64
+
+
+def test_empty():
+    kv = KVArray.empty(np.uint64)
+    assert len(kv) == 0
+    assert kv.is_sorted() and kv.is_strictly_sorted()
+
+
+def test_sorted_is_stable():
+    kv = KVArray(
+        np.array([2, 1, 2, 1], dtype=np.uint64),
+        np.array([10, 20, 30, 40], dtype=np.int64),
+    )
+    out = kv.sorted()
+    assert out.keys.tolist() == [1, 1, 2, 2]
+    # Ties keep arrival order: 20 before 40, 10 before 30.
+    assert out.values.tolist() == [20, 40, 10, 30]
+
+
+def test_sortedness_predicates():
+    assert KVArray.from_pairs([(1, 0), (2, 0), (2, 0)], np.int64).is_sorted()
+    assert not KVArray.from_pairs([(2, 0), (1, 0)], np.int64).is_sorted()
+    assert KVArray.from_pairs([(1, 0), (2, 0)], np.int64).is_strictly_sorted()
+    assert not KVArray.from_pairs([(1, 0), (1, 0)], np.int64).is_strictly_sorted()
+
+
+def test_concat_preserves_run_order():
+    a = KVArray.from_pairs([(5, 1)], np.int64)
+    b = KVArray.from_pairs([(5, 2)], np.int64)
+    out = KVArray.concat([a, b])
+    assert out.values.tolist() == [1, 2]
+
+
+def test_concat_requires_nonempty():
+    with pytest.raises(ValueError):
+        KVArray.concat([KVArray.empty(np.int64)])
+
+
+def test_slice_and_take():
+    kv = KVArray.from_pairs([(1, 10), (2, 20), (3, 30)], np.int64)
+    assert kv.slice(1, 3).keys.tolist() == [2, 3]
+    assert kv.take(np.array([True, False, True])).values.tolist() == [10, 30]
+
+
+def test_nbytes_and_record_size():
+    kv = KVArray.from_pairs([(1, 0.5)], np.float64)
+    assert kv.record_bytes == 16
+    assert kv.nbytes == 16
+    assert record_dtype(np.float32).itemsize == 12
+
+
+@given(st.lists(st.tuples(st.integers(0, 2 ** 63), st.integers(-2 ** 31, 2 ** 31)),
+                max_size=200))
+def test_bytes_roundtrip(pairs):
+    kv = KVArray.from_pairs(pairs, np.int64)
+    back = KVArray.from_bytes(kv.to_bytes(), np.int64)
+    assert np.array_equal(back.keys, kv.keys)
+    assert np.array_equal(back.values, kv.values)
+
+
+@given(st.lists(st.integers(0, 1000), max_size=300))
+def test_sorted_really_sorts(keys):
+    kv = KVArray(np.array(keys, dtype=np.uint64),
+                 np.arange(len(keys), dtype=np.int64))
+    out = kv.sorted()
+    assert out.is_sorted()
+    assert len(out) == len(kv)
+    # Same multiset of keys.
+    assert sorted(keys) == out.keys.astype(int).tolist()
+
+
+def test_repr_preview():
+    kv = KVArray.from_pairs([(i, i) for i in range(10)], np.int64)
+    text = repr(kv)
+    assert "n=10" in text and "…" in text

@@ -1,0 +1,151 @@
+"""Streaming k-way merge-reduce."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.kvstream import KVArray
+from repro.core.merger import StreamingMergeReducer, merge_reduce_arrays
+from repro.core.reduce_ops import FIRST, SUM
+
+
+def kv(pairs, dtype=np.int64):
+    return KVArray.from_pairs(pairs, dtype)
+
+
+def chunked(run: KVArray, size: int):
+    for i in range(0, len(run), size):
+        yield run.slice(i, min(len(run), i + size))
+
+
+def collect(merger, sources):
+    out = []
+    merger.merge(sources, out.append)
+    if not out:
+        return KVArray.empty(np.int64)
+    return KVArray.concat(out)
+
+
+def test_merge_reduce_arrays_basic():
+    a = kv([(1, 1), (3, 3)])
+    b = kv([(1, 10), (2, 2)])
+    out = merge_reduce_arrays([a, b], SUM)
+    assert out.keys.tolist() == [1, 2, 3]
+    assert out.values.tolist() == [11, 2, 3]
+
+
+def test_merge_reduce_arrays_validates():
+    with pytest.raises(ValueError):
+        merge_reduce_arrays([], SUM)
+    with pytest.raises(ValueError):
+        merge_reduce_arrays([kv([(2, 1), (1, 1)])], SUM)
+
+
+def test_streaming_merge_matches_in_memory():
+    rng = np.random.default_rng(3)
+    runs = []
+    for _ in range(5):
+        keys = np.sort(rng.integers(0, 300, 400)).astype(np.uint64)
+        values = rng.integers(0, 10, 400).astype(np.int64)
+        runs.append(KVArray(keys, values))
+    merger = StreamingMergeReducer(SUM, np.int64, refill_records=64)
+    out = collect(merger, [chunked(r, 37) for r in runs])
+    expected = merge_reduce_arrays(runs, SUM)
+    assert out.keys.tolist() == expected.keys.tolist()
+    assert out.values.tolist() == expected.values.tolist()
+
+
+def test_output_is_globally_sorted_and_unique():
+    rng = np.random.default_rng(4)
+    runs = [KVArray(np.sort(rng.integers(0, 50, 200)).astype(np.uint64),
+                    np.ones(200, dtype=np.int64)) for _ in range(3)]
+    merger = StreamingMergeReducer(SUM, np.int64, refill_records=16)
+    out = collect(merger, [chunked(r, 13) for r in runs])
+    assert out.is_strictly_sorted()
+    assert int(out.values.sum()) == 600  # SUM conserves total count
+
+
+def test_first_semantics_respect_run_order():
+    a = kv([(5, 100)])
+    b = kv([(5, 200)])
+    merger = StreamingMergeReducer(FIRST, np.int64)
+    out = collect(merger, [iter([a]), iter([b])])
+    assert out.values.tolist() == [100]
+    merger = StreamingMergeReducer(FIRST, np.int64)
+    out = collect(merger, [iter([b]), iter([a])])
+    assert out.values.tolist() == [200]
+
+
+def test_giant_duplicate_group_spanning_buffers():
+    # One run is a single repeated key longer than the refill size: the
+    # merger must extend past the boundary instead of stalling.
+    a = KVArray(np.full(500, 7, dtype=np.uint64), np.ones(500, dtype=np.int64))
+    b = kv([(6, 1), (7, 1), (8, 1)])
+    merger = StreamingMergeReducer(SUM, np.int64, refill_records=8)
+    out = collect(merger, [chunked(a, 9), chunked(b, 2)])
+    assert out.keys.tolist() == [6, 7, 8]
+    assert out.values.tolist() == [1, 501, 1]
+
+
+def test_empty_sources():
+    merger = StreamingMergeReducer(SUM, np.int64)
+    out = collect(merger, [iter([]), iter([])])
+    assert len(out) == 0
+
+
+def test_one_source_passthrough_reduces():
+    run = kv([(1, 1), (1, 2), (4, 4)])
+    merger = StreamingMergeReducer(SUM, np.int64)
+    out = collect(merger, [chunked(run, 2)])
+    assert out.keys.tolist() == [1, 4]
+    assert out.values.tolist() == [3, 4]
+
+
+def test_fanout_limit():
+    merger = StreamingMergeReducer(SUM, np.int64, fanout=2)
+    with pytest.raises(ValueError, match="fanout"):
+        merger.merge([iter([])] * 3, lambda _: None)
+    with pytest.raises(ValueError):
+        merger.merge([], lambda _: None)
+
+
+def test_unsorted_chunks_rejected():
+    bad = iter([kv([(5, 1)]), kv([(3, 1)])])
+    merger = StreamingMergeReducer(SUM, np.int64, refill_records=1)
+    with pytest.raises(ValueError, match="sorted"):
+        merger.merge([bad], lambda _: None)
+
+
+def test_pair_accounting():
+    runs = [kv([(1, 1), (2, 1)]), kv([(1, 1), (3, 1)])]
+    merger = StreamingMergeReducer(SUM, np.int64)
+    pairs_in, pairs_out = merger.merge([iter([r]) for r in runs], lambda _: None)
+    assert pairs_in == 4
+    assert pairs_out == 3
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        StreamingMergeReducer(SUM, np.int64, fanout=1)
+    with pytest.raises(ValueError):
+        StreamingMergeReducer(SUM, np.int64, refill_records=0)
+
+
+@settings(deadline=None, max_examples=50)
+@given(
+    st.lists(
+        st.lists(st.tuples(st.integers(0, 40), st.integers(0, 9)), max_size=60),
+        min_size=1, max_size=6,
+    ),
+    st.integers(1, 7),
+)
+def test_streaming_merge_property(runs_pairs, chunk_size):
+    runs = [kv(sorted(pairs, key=lambda p: p[0])) for pairs in runs_pairs]
+    merger = StreamingMergeReducer(SUM, np.int64, refill_records=4)
+    out = collect(merger, [chunked(r, chunk_size) for r in runs])
+    expected = {}
+    for pairs in runs_pairs:
+        for k, v in pairs:
+            expected[k] = expected.get(k, 0) + v
+    assert out.keys.astype(int).tolist() == sorted(expected)
+    assert out.values.tolist() == [expected[k] for k in sorted(expected)]

@@ -1,0 +1,163 @@
+"""Partitioned multi-device sort-reduce (§VI scale-out)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.accelerator import SoftwareBackend
+from repro.core.external import ExternalSortReducer
+from repro.core.kvstream import KVArray
+from repro.core.reduce_ops import SUM
+from repro.core.scaleout import PartitionedSortReducer
+from repro.engine.config import make_system
+from repro.perf.profiles import GRAFSOFT
+
+SCALE = 2.0 ** -14
+KEY_SPACE = 50_000
+
+
+def make_devices(count: int):
+    systems = [make_system("grafboost", SCALE, num_vertices_hint=KEY_SPACE)
+               for _ in range(count)]
+    return systems, [(s.store, s.backend) for s in systems]
+
+
+def random_updates(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return KVArray(rng.integers(0, KEY_SPACE, n).astype(np.uint64),
+                   rng.integers(1, 4, n).astype(np.float64))
+
+
+def test_partitioned_matches_single_device():
+    updates = random_updates(100_000, seed=1)
+    _, devices = make_devices(4)
+    reducer = PartitionedSortReducer(devices, SUM, np.float64, KEY_SPACE,
+                                     chunk_bytes=64 * 1024)
+    for start in range(0, len(updates), 16_384):
+        reducer.add(updates.slice(start, min(len(updates), start + 16_384)))
+    result = reducer.finish()
+
+    single_system = make_system("grafboost", SCALE, num_vertices_hint=KEY_SPACE)
+    single = ExternalSortReducer(single_system.store, SUM, np.float64,
+                                 single_system.backend, 64 * 1024)
+    single.add(updates)
+    expected = single.finish().read_all()
+
+    out = result.read_all()
+    assert out.is_strictly_sorted()
+    assert np.array_equal(out.keys, expected.keys)
+    assert np.allclose(out.values, expected.values)
+    assert result.num_records == len(expected)
+    assert reducer.total_input_pairs == len(updates)
+
+
+def test_chunks_stream_globally_sorted():
+    _, devices = make_devices(3)
+    reducer = PartitionedSortReducer(devices, SUM, np.float64, KEY_SPACE,
+                                     chunk_bytes=64 * 1024)
+    reducer.add(random_updates(30_000, seed=2))
+    result = reducer.finish()
+    last = -1
+    for chunk in result.chunks():
+        assert chunk.is_strictly_sorted()
+        assert int(chunk.keys[0]) > last
+        last = int(chunk.keys[-1])
+
+
+def test_scaleout_speedup():
+    """More devices, less wall time — the §VI horizontal-scaling claim."""
+    updates = random_updates(200_000, seed=3)
+    times = {}
+    for count in (1, 2, 4):
+        _, devices = make_devices(count)
+        reducer = PartitionedSortReducer(devices, SUM, np.float64, KEY_SPACE,
+                                         chunk_bytes=64 * 1024)
+        reducer.add(updates)
+        reducer.finish()
+        times[count] = reducer.elapsed_s
+    assert times[2] < times[1]
+    assert times[4] < times[2]
+    # Within shouting distance of linear (keys are uniform, so balanced).
+    assert times[1] / times[4] > 2.0
+
+
+def test_load_balance_diagnostics():
+    _, devices = make_devices(4)
+    reducer = PartitionedSortReducer(devices, SUM, np.float64, KEY_SPACE,
+                                     chunk_bytes=64 * 1024)
+    reducer.add(random_updates(80_000, seed=4))
+    reducer.finish()
+    per_device = reducer.device_times
+    assert len(per_device) == 4
+    assert max(per_device) == pytest.approx(reducer.elapsed_s)
+    # Uniform keys: no device is more than 2x the lightest.
+    assert max(per_device) < 2 * min(per_device)
+
+
+def test_partition_of():
+    _, devices = make_devices(4)
+    reducer = PartitionedSortReducer(devices, SUM, np.float64, 100,
+                                     chunk_bytes=64 * 1024)
+    parts = reducer.partition_of(np.array([0, 24, 25, 99], dtype=np.uint64))
+    assert parts.tolist() == [0, 0, 1, 3]
+
+
+def test_validation():
+    _, devices = make_devices(2)
+    with pytest.raises(ValueError, match="at least one"):
+        PartitionedSortReducer([], SUM, np.float64, 10, 64 * 1024)
+    with pytest.raises(ValueError, match="smaller"):
+        PartitionedSortReducer(devices, SUM, np.float64, 1, 64 * 1024)
+    reducer = PartitionedSortReducer(devices, SUM, np.float64, 10, 64 * 1024)
+    with pytest.raises(ValueError, match="key space"):
+        reducer.add(KVArray.from_pairs([(10, 1.0)], np.float64))
+    reducer.finish()
+    with pytest.raises(RuntimeError):
+        reducer.add(KVArray.from_pairs([(1, 1.0)], np.float64))
+    with pytest.raises(RuntimeError):
+        reducer.finish()
+
+
+@settings(deadline=None, max_examples=15)
+@given(st.lists(st.tuples(st.integers(0, 999), st.integers(1, 5)), max_size=200),
+       st.integers(1, 5))
+def test_partitioned_property(pairs, num_devices):
+    systems = [make_system("grafsoft", SCALE) for _ in range(num_devices)]
+    devices = [(s.store, s.backend) for s in systems]
+    reducer = PartitionedSortReducer(devices, SUM, np.float64, 1000,
+                                     chunk_bytes=64 * 1024)
+    reducer.add(KVArray.from_pairs(pairs, np.float64))
+    out = reducer.finish().read_all()
+    expected = {}
+    for k, v in pairs:
+        expected[k] = expected.get(k, 0) + v
+    assert out.keys.astype(int).tolist() == sorted(expected)
+    assert np.allclose(out.values, [expected[k] for k in sorted(expected)])
+
+
+def test_interconnect_charges_network_time():
+    # §VI: the distributed configuration routes updates between devices
+    # over BlueDBM's inter-controller network; transit time is charged.
+    updates = random_updates(50_000, seed=6)
+    _, devices = make_devices(4)
+    networked = PartitionedSortReducer(devices, SUM, np.float64, KEY_SPACE,
+                                       chunk_bytes=64 * 1024,
+                                       interconnect_bw=4 * 2 ** 30)
+    networked.add(updates)
+    networked.finish()
+    assert networked.network_bytes > 0
+    assert any(clock.busy_s("net") > 0 for clock in networked._clocks)
+
+    _, devices2 = make_devices(4)
+    local = PartitionedSortReducer(devices2, SUM, np.float64, KEY_SPACE,
+                                   chunk_bytes=64 * 1024)
+    local.add(updates)
+    local.finish()
+    assert networked.elapsed_s > local.elapsed_s  # network is not free
+
+
+def test_interconnect_validation():
+    _, devices = make_devices(2)
+    with pytest.raises(ValueError, match="interconnect"):
+        PartitionedSortReducer(devices, SUM, np.float64, KEY_SPACE,
+                               chunk_bytes=64 * 1024, interconnect_bw=0)

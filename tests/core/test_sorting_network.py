@@ -1,0 +1,98 @@
+"""Bitonic networks and tuple mergers: the FPGA datapath (Fig 9)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.sorting_network import (
+    MergeTree,
+    TupleMerger,
+    TupleSorter,
+    apply_schedule,
+    bitonic_merge_schedule,
+    bitonic_sort_schedule,
+    stream_to_tuples,
+    tuples_to_stream,
+)
+
+
+def test_sort_schedule_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        bitonic_sort_schedule(6)
+    with pytest.raises(ValueError):
+        bitonic_merge_schedule(0)
+
+
+def test_schedule_size_is_n_log2_squared():
+    # A bitonic sorting network has n/2 * k*(k+1)/2 comparators for n=2^k.
+    n, k = 16, 4
+    schedule = bitonic_sort_schedule(n)
+    assert len(schedule) == n // 2 * k * (k + 1) // 2
+
+
+@given(st.lists(st.integers(0, 1), min_size=8, max_size=8))
+def test_zero_one_principle(bits):
+    """Sorting every 0-1 input proves the network sorts all inputs."""
+    out = apply_schedule(bits, bitonic_sort_schedule(8))
+    assert out == sorted(bits)
+
+
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False),
+                min_size=16, max_size=16))
+def test_sorts_arbitrary_floats(values):
+    out = apply_schedule(values, bitonic_sort_schedule(16))
+    assert out == sorted(values)
+
+
+@given(st.lists(st.integers(-100, 100), min_size=4, max_size=4),
+       st.lists(st.integers(-100, 100), min_size=4, max_size=4))
+def test_bitonic_merger_merges(a, b):
+    """Ascending + descending halves form a bitonic sequence the merger sorts."""
+    seq = sorted(a) + sorted(b)[::-1]
+    out = apply_schedule(seq, bitonic_merge_schedule(8))
+    assert out == sorted(a + b)
+
+
+def test_tuple_sorter():
+    sorter = TupleSorter(8)
+    assert sorter.sort([5, 3, 8, 1, 9, 2, 7, 0]) == [0, 1, 2, 3, 5, 7, 8, 9]
+    with pytest.raises(ValueError):
+        sorter.sort([1, 2, 3])
+
+
+@settings(deadline=None)
+@given(st.lists(st.integers(0, 1000), max_size=60),
+       st.lists(st.integers(0, 1000), max_size=60))
+def test_tuple_merger_streams(a, b):
+    """The streaming 2-to-1 merger (Fig 9b) merges sorted tuple streams."""
+    merger = TupleMerger(4)
+    stream_a = stream_to_tuples(sorted(a), 4)
+    stream_b = stream_to_tuples(sorted(b), 4)
+    merged = tuples_to_stream(merger.merge(iter(stream_a), iter(stream_b)))
+    assert merged == sorted(a + b)
+
+
+@settings(deadline=None)
+@given(st.lists(st.lists(st.integers(0, 500), max_size=40), min_size=1, max_size=8))
+def test_merge_tree(streams):
+    """An 8-to-1 tree of tuple mergers (Fig 9c) produces one sorted stream."""
+    tree = MergeTree(fanin=8, tuple_size=4)
+    tuple_streams = [iter(stream_to_tuples(sorted(s), 4)) for s in streams]
+    merged = tuples_to_stream(tree.merge(tuple_streams))
+    assert merged == sorted(sum(streams, []))
+
+
+def test_merge_tree_validation():
+    with pytest.raises(ValueError):
+        MergeTree(fanin=6, tuple_size=4)
+    tree = MergeTree(fanin=2, tuple_size=4)
+    with pytest.raises(ValueError):
+        tree.merge([iter(())] * 3)
+    assert list(tree.merge([])) == []
+
+
+def test_stream_tuple_padding_roundtrip():
+    tuples = stream_to_tuples([1, 2, 3, 4, 5], 4)
+    assert len(tuples) == 2
+    assert tuples[1][1:] == [np.inf, np.inf, np.inf]
+    assert tuples_to_stream(iter(tuples)) == [1, 2, 3, 4, 5]

@@ -1,0 +1,67 @@
+"""Bloom filter (Algorithm 4's active-list marker)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.bloom import BloomFilter
+
+
+def test_no_false_negatives():
+    bloom = BloomFilter(num_bits=4096, num_hashes=3)
+    keys = np.arange(0, 1000, 7, dtype=np.uint64)
+    bloom.add(keys)
+    assert bloom.contains(keys).all()
+
+
+def test_mostly_rejects_absent_keys():
+    bloom = BloomFilter.for_expected_items(200, false_positive_rate=0.01)
+    present = np.arange(200, dtype=np.uint64)
+    absent = np.arange(10_000, 20_000, dtype=np.uint64)
+    bloom.add(present)
+    false_positive_rate = bloom.contains(absent).mean()
+    assert false_positive_rate < 0.05
+
+
+def test_empty_operations():
+    bloom = BloomFilter(64)
+    bloom.add(np.empty(0, dtype=np.uint64))
+    assert bloom.contains(np.empty(0, dtype=np.uint64)).tolist() == []
+    assert bloom.fill_ratio() == 0.0
+
+
+def test_clear():
+    bloom = BloomFilter(256)
+    bloom.add(np.array([1, 2, 3], dtype=np.uint64))
+    assert bloom.fill_ratio() > 0
+    bloom.clear()
+    assert bloom.fill_ratio() == 0.0
+    assert not bloom.contains(np.array([1], dtype=np.uint64))[0]
+
+
+def test_sizing():
+    small = BloomFilter.for_expected_items(100, 0.01)
+    large = BloomFilter.for_expected_items(10_000, 0.01)
+    assert large.num_bits > small.num_bits
+    assert small.nbytes == (small.num_bits + 7) // 8
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        BloomFilter(4)
+    with pytest.raises(ValueError):
+        BloomFilter(64, num_hashes=0)
+    with pytest.raises(ValueError):
+        BloomFilter.for_expected_items(0)
+    with pytest.raises(ValueError):
+        BloomFilter.for_expected_items(10, false_positive_rate=1.5)
+
+
+@settings(deadline=None, max_examples=30)
+@given(st.lists(st.integers(0, 2 ** 62), max_size=100))
+def test_membership_property(keys):
+    bloom = BloomFilter(8192, num_hashes=2)
+    array = np.array(keys, dtype=np.uint64)
+    bloom.add(array)
+    if len(array):
+        assert bloom.contains(array).all()

@@ -1,0 +1,77 @@
+"""System assembly: stacks, scaling, store/backend dispatch."""
+
+import pytest
+
+from repro.core.accelerator import AcceleratorBackend, SoftwareBackend
+from repro.engine.config import MIN_CHUNK_BYTES, make_system, scaled_geometry
+from repro.flash.aoffs import AppendOnlyFlashFS
+from repro.flash.filestore import SSDFileSystem
+from repro.perf.profiles import GRAFBOOST, MB, SINGLE_SSD_SERVER
+
+
+def test_grafboost_stack():
+    system = make_system("grafboost", 2.0 ** -14, num_vertices_hint=100_000)
+    assert isinstance(system.store, AppendOnlyFlashFS)
+    assert isinstance(system.backend, AcceleratorBackend)
+    assert system.profile.has_accelerator
+    # Key packing sized for the *paper-equivalent* vertex count:
+    # 100k scaled keys at 2^-14 stand for ~1.6B, needing 31 bits.
+    assert system.backend.packing.key_bits == 31
+    # The device charges packed traffic at a discount (Fig 7).
+    assert system.device.traffic_scale < 1.0
+
+
+def test_grafsoft_stack():
+    system = make_system("grafsoft", 2.0 ** -14)
+    assert isinstance(system.store, SSDFileSystem)
+    assert isinstance(system.backend, SoftwareBackend)
+
+
+def test_grafboost2_differs_in_dram_bw():
+    a = make_system("grafboost", 2.0 ** -14)
+    b = make_system("grafboost2", 2.0 ** -14)
+    assert b.profile.dram_bw == 2 * a.profile.dram_bw
+
+
+def test_unknown_kind():
+    with pytest.raises(KeyError, match="unknown system"):
+        make_system("spark")
+
+
+def test_chunk_scales_with_paper_512mb():
+    system = make_system("grafsoft", 2.0 ** -10)
+    assert system.chunk_bytes == int(512 * MB * 2.0 ** -10)
+    tiny = make_system("grafsoft", 2.0 ** -20)
+    assert tiny.chunk_bytes >= MIN_CHUNK_BYTES
+
+
+def test_dram_override_for_memory_sweep():
+    system = make_system("grafsoft", 2.0 ** -14, dram_bytes=123_456)
+    assert system.profile.dram_capacity == 123_456
+
+
+def test_custom_profile():
+    system = make_system("ignored", 2.0 ** -14, profile=SINGLE_SSD_SERVER)
+    assert system.name == SINGLE_SSD_SERVER.name
+    assert isinstance(system.store, SSDFileSystem)
+
+
+def test_scaled_geometry_keeps_page_size():
+    geometry = scaled_geometry(64 * MB)
+    assert geometry.page_bytes == 8192
+    assert geometry.num_blocks >= 512
+
+
+def test_clocks_are_independent():
+    a = make_system("grafsoft", 2.0 ** -14)
+    b = make_system("grafsoft", 2.0 ** -14)
+    a.clock.charge("flash", 1.0)
+    assert b.clock.elapsed_s == 0.0
+
+
+def test_engine_for_builds_engine(tiny_graph):
+    system = make_system("grafboost", 2.0 ** -14, num_vertices_hint=6)
+    flash_graph = system.load_graph(tiny_graph, prefix="tiny")
+    engine = system.engine_for(flash_graph, tiny_graph.num_vertices)
+    assert engine.num_vertices == 6
+    assert engine.chunk_bytes == system.chunk_bytes

@@ -1,0 +1,132 @@
+"""NAND device simulator: physical constraints, data integrity, timing."""
+
+import pytest
+
+from repro.flash.device import FlashDevice, FlashError, FlashGeometry
+from repro.perf.clock import SimClock
+from repro.perf.profiles import GRAFSOFT
+
+
+def make_device(clock=None):
+    geometry = FlashGeometry(page_bytes=4096, pages_per_block=8, num_blocks=16)
+    return FlashDevice(geometry, GRAFSOFT, clock or SimClock())
+
+
+def test_write_read_roundtrip():
+    device = make_device()
+    device.write_page(0, 0, b"hello")
+    assert device.read_page(0, 0) == b"hello"
+
+
+def test_program_order_enforced():
+    device = make_device()
+    with pytest.raises(FlashError, match="out-of-order"):
+        device.write_page(0, 3, b"skip")
+    device.write_page(0, 0, b"a")
+    device.write_page(0, 1, b"b")
+    with pytest.raises(FlashError, match="out-of-order"):
+        device.write_page(0, 5, b"skip ahead")
+    with pytest.raises(FlashError, match="un-erased"):
+        device.write_page(0, 1, b"rewrite")
+
+
+def test_erase_before_write_enforced():
+    device = make_device()
+    device.write_page(0, 0, b"x")
+    device.erase_block(0)
+    device.write_page(0, 0, b"y")  # fine after erase
+    assert device.read_page(0, 0) == b"y"
+
+
+def test_read_of_erased_page_is_error():
+    device = make_device()
+    with pytest.raises(FlashError, match="erased"):
+        device.read_page(0, 0)
+
+
+def test_page_size_limit():
+    device = make_device()
+    with pytest.raises(FlashError, match="exceeds page size"):
+        device.write_page(0, 0, b"z" * 5000)
+
+
+def test_erase_destroys_data_and_counts_wear():
+    device = make_device()
+    device.write_page(2, 0, b"doomed")
+    device.erase_block(2)
+    assert device.erase_counts[2] == 1
+    assert device.block_is_erased(2)
+    with pytest.raises(FlashError):
+        device.read_page(2, 0)
+
+
+def test_invalidate_tracks_page_state():
+    device = make_device()
+    device.write_page(0, 0, b"v")
+    assert device.valid_pages(0) == 1
+    device.invalidate_page(0, 0)
+    assert device.valid_pages(0) == 0
+    with pytest.raises(FlashError):
+        device.invalidate_page(0, 0)  # already invalid
+
+
+def test_out_of_range_addresses():
+    device = make_device()
+    with pytest.raises(FlashError):
+        device.write_page(99, 0, b"")
+    with pytest.raises(FlashError):
+        device.read_page(0, 99)
+    with pytest.raises(FlashError):
+        device.erase_block(-1)
+
+
+def test_batched_read_pays_one_latency():
+    clock_single = SimClock()
+    device = make_device(clock_single)
+    for page in range(8):
+        device.write_page(0, page, b"d" * 4096)
+    write_time = clock_single.elapsed_s
+
+    # Read the 8 pages one by one vs in one batch.
+    start = clock_single.elapsed_s
+    for page in range(8):
+        device.read_page(0, page)
+    individual = clock_single.elapsed_s - start
+
+    start = clock_single.elapsed_s
+    device.read_pages([(0, page) for page in range(8)])
+    batched = clock_single.elapsed_s - start
+
+    assert batched < individual
+    # 7 extra latencies is exactly the difference.
+    expected_gap = 7 * GRAFSOFT.flash_read_latency_s
+    assert individual - batched == pytest.approx(expected_gap)
+    assert write_time > 0
+
+
+def test_batched_write_pays_one_latency():
+    clock = SimClock()
+    device = make_device(clock)
+    start = clock.elapsed_s
+    device.write_pages([(0, page, b"w" * 4096) for page in range(8)])
+    batched = clock.elapsed_s - start
+
+    clock2 = SimClock()
+    device2 = make_device(clock2)
+    for page in range(8):
+        device2.write_page(0, page, b"w" * 4096)
+    assert batched < clock2.elapsed_s
+
+
+def test_clock_records_bytes():
+    clock = SimClock()
+    device = make_device(clock)
+    device.write_page(0, 0, b"q" * 4096)
+    device.read_page(0, 0)
+    assert clock.bytes_moved("flash") == 8192
+
+
+def test_geometry_from_profile():
+    geometry = FlashGeometry.from_profile(GRAFSOFT, capacity=100 * 1024 * 1024)
+    assert geometry.page_bytes == GRAFSOFT.flash_page_bytes
+    assert geometry.capacity_bytes >= 100 * 1024 * 1024

@@ -1,0 +1,95 @@
+"""SSD-backed file system: interface parity with AOFFS plus in-place writes."""
+
+import numpy as np
+import pytest
+
+from repro.flash.device import FlashError
+
+
+def test_append_read_roundtrip(ssd_fs):
+    ssd_fs.append("f", b"abc")
+    ssd_fs.append("f", b"def")
+    assert ssd_fs.read("f") == b"abcdef"
+
+
+def test_multi_page_file(ssd_fs):
+    data = bytes(range(256)) * 80
+    ssd_fs.append("f", data)
+    ssd_fs.seal("f")
+    assert ssd_fs.read("f") == data
+    assert ssd_fs.read("f", 7000, 2000) == data[7000:9000]
+
+
+def test_array_roundtrip(ssd_fs):
+    array = np.linspace(0, 1, 3000)
+    ssd_fs.append_array("a", array)
+    ssd_fs.seal("a")
+    assert np.allclose(ssd_fs.read_array("a", np.float64), array)
+
+
+def test_write_at_in_place_update(ssd_fs):
+    page = ssd_fs.page_bytes
+    ssd_fs.append("f", b"\x00" * (page * 3))
+    ssd_fs.write_at("f", page + 10, b"PATCH")
+    content = ssd_fs.read("f")
+    assert content[page + 10:page + 15] == b"PATCH"
+    assert content[:page + 10] == b"\x00" * (page + 10)
+
+
+def test_write_at_spanning_pages(ssd_fs):
+    page = ssd_fs.page_bytes
+    ssd_fs.append("f", b"\x00" * (page * 2))
+    blob = b"R" * 100
+    ssd_fs.write_at("f", page - 50, blob)
+    assert ssd_fs.read("f", page - 50, 100) == blob
+
+
+def test_write_at_outside_flushed_region(ssd_fs):
+    ssd_fs.append("f", b"tiny")  # still in the tail buffer
+    with pytest.raises(ValueError):
+        ssd_fs.write_at("f", 0, b"x")
+
+
+def test_write_at_causes_ftl_garbage(ssd_fs):
+    page = ssd_fs.page_bytes
+    ssd_fs.append("f", b"\x00" * (page * 2))
+    user_writes_before = ssd_fs.ssd.ftl.user_pages_written
+    ssd_fs.write_at("f", 0, b"y" * page)
+    assert ssd_fs.ssd.ftl.user_pages_written == user_writes_before + 1
+
+
+def test_delete_trims_and_frees(ssd_fs):
+    free_before = ssd_fs.free_bytes
+    ssd_fs.append("f", b"z" * 50000)
+    ssd_fs.delete("f")
+    assert ssd_fs.free_bytes == free_before
+    with pytest.raises(FileNotFoundError):
+        ssd_fs.read("f")
+
+
+def test_seal_then_append_rejected(ssd_fs):
+    ssd_fs.append("f", b"x")
+    ssd_fs.seal("f")
+    with pytest.raises(FlashError, match="sealed"):
+        ssd_fs.append("f", b"y")
+
+
+def test_stream(ssd_fs):
+    data = b"m" * 10000
+    ssd_fs.append("f", data)
+    assert b"".join(ssd_fs.stream("f", 3000)) == data
+
+
+def test_rename(ssd_fs):
+    ssd_fs.append("a", b"1")
+    ssd_fs.rename("a", "b")
+    assert ssd_fs.read("b") == b"1"
+
+
+def test_interface_parity_with_aoffs(ssd_fs, aoffs):
+    # The sort-reduce and graph layers use these members on either store.
+    for member in ("create", "append", "seal", "read", "stream", "delete",
+                   "exists", "size", "list_files", "append_array",
+                   "read_array", "rename", "device"):
+        assert hasattr(ssd_fs, member), member
+        assert hasattr(aoffs, member), member

@@ -1,0 +1,78 @@
+"""Dataset registry: Table I statistics and scaling."""
+
+import pytest
+
+from repro.graph.datasets import DATASETS, DEFAULT_SCALE, build_graph, dataset_by_name
+
+
+def test_all_five_paper_datasets_present():
+    assert set(DATASETS) == {"twitter", "kron28", "kron30", "kron32", "wdc"}
+
+
+def test_table1_constants():
+    # Table I rows: nodes / edges / edgefactor.
+    assert DATASETS["twitter"].paper_nodes == 41_000_000
+    assert DATASETS["twitter"].paper_edgefactor == 36
+    assert DATASETS["kron28"].paper_edges == 4_000_000_000
+    assert DATASETS["kron30"].paper_nodes == 1_000_000_000
+    assert DATASETS["kron32"].paper_edgefactor == 8
+    assert DATASETS["wdc"].paper_edges == 128_000_000_000
+    assert DATASETS["wdc"].paper_edgefactor == 43
+
+
+def test_edge_factor_consistency():
+    for dataset in DATASETS.values():
+        ratio = dataset.paper_edges / dataset.paper_nodes
+        assert ratio == pytest.approx(dataset.paper_edgefactor, rel=0.25)
+
+
+def test_scaled_sizes():
+    wdc = DATASETS["wdc"]
+    assert wdc.scaled_nodes(2.0 ** -14) == pytest.approx(183_105, rel=0.01)
+    assert wdc.vertex_data_bytes(2.0 ** -14) == wdc.scaled_nodes(2.0 ** -14) * 8
+
+
+def test_build_graph_small_scale():
+    graph = build_graph("twitter", 2.0 ** -14, seed=1)
+    dataset = DATASETS["twitter"]
+    assert graph.num_vertices == dataset.scaled_nodes(2.0 ** -14)
+    # Edge count within 2x of nodes * edgefactor (generators are stochastic
+    # only in structure, not count, except kron rounding).
+    assert graph.num_edges == pytest.approx(
+        graph.num_vertices * dataset.paper_edgefactor, rel=0.5)
+
+
+def test_build_graph_weighted():
+    graph = build_graph("kron28", 2.0 ** -16, weighted=True)
+    assert graph.has_weights
+    assert len(graph.weights) == graph.num_edges
+
+
+def test_kron_scaling_uses_power_of_two():
+    graph = build_graph("kron30", 2.0 ** -16)
+    assert graph.num_vertices == 1 << 14  # 30 - 16
+
+
+def test_determinism():
+    a = build_graph("wdc", 2.0 ** -16, seed=9)
+    b = build_graph("wdc", 2.0 ** -16, seed=9)
+    assert a.num_edges == b.num_edges
+    assert (a.targets == b.targets).all()
+
+
+def test_scale_validation():
+    with pytest.raises(ValueError):
+        DATASETS["twitter"].edges(0)
+    with pytest.raises(ValueError):
+        DATASETS["twitter"].edges(2.0)
+
+
+def test_unknown_dataset():
+    with pytest.raises(KeyError, match="unknown dataset"):
+        dataset_by_name("facebook")
+
+
+def test_default_scale_is_tractable():
+    # The biggest dataset at default scale stays under ten million edges.
+    wdc = DATASETS["wdc"]
+    assert wdc.scaled_edges(DEFAULT_SCALE) < 10_000_000

@@ -1,0 +1,108 @@
+"""On-flash CSR format: lookups, gathers, streaming, coalescing."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.formats import FlashCSR, coalesce_ranges
+from repro.graph.generators import random_weights
+
+
+def test_coalesce_ranges_merges_close():
+    starts = np.array([0, 10, 100])
+    ends = np.array([5, 15, 110])
+    assert coalesce_ranges(starts, ends, max_gap=5) == [(0, 15), (100, 110)]
+    assert coalesce_ranges(starts, ends, max_gap=200) == [(0, 110)]
+    assert coalesce_ranges(starts, ends, max_gap=0) == [(0, 5), (10, 15), (100, 110)]
+
+
+def test_coalesce_skips_empty_ranges():
+    assert coalesce_ranges(np.array([3, 5]), np.array([3, 8]), 0) == [(5, 8)]
+    assert coalesce_ranges(np.array([]), np.array([]), 10) == []
+
+
+def test_write_and_lookup(aoffs, random_graph):
+    flash = FlashCSR.write(aoffs, "g", random_graph)
+    keys = np.array([0, 7, 100, 499], dtype=np.uint64)
+    starts, ends = flash.index_lookup(keys)
+    for key, start, end in zip(keys, starts, ends):
+        assert start == random_graph.offsets[int(key)]
+        assert end == random_graph.offsets[int(key) + 1]
+
+
+def test_edges_for_matches_neighbors(aoffs, random_graph):
+    flash = FlashCSR.write(aoffs, "g", random_graph)
+    keys = np.unique(np.random.default_rng(0).integers(0, 500, 80)).astype(np.uint64)
+    starts, ends = flash.index_lookup(keys)
+    edges = flash.edges_for(starts, ends)
+    expected = np.concatenate([random_graph.neighbors(int(k)) for k in keys])
+    assert np.array_equal(edges, expected)
+
+
+def test_weights_roundtrip(aoffs, random_graph):
+    weighted = CSRGraph.from_edges(*random_graph.edge_list(), 500,
+                                   random_weights(random_graph.num_edges))
+    flash = FlashCSR.write(aoffs, "w", weighted)
+    keys = np.arange(0, 500, 37, dtype=np.uint64)
+    starts, ends = flash.index_lookup(keys)
+    weights = flash.weights_for(starts, ends)
+    expected = np.concatenate([weighted.edge_weights(int(k)) for k in keys])
+    assert np.allclose(weights, expected)
+
+
+def test_weights_for_unweighted_rejected(aoffs, random_graph):
+    flash = FlashCSR.write(aoffs, "g", random_graph)
+    with pytest.raises(ValueError, match="weights"):
+        flash.weights_for(np.array([0]), np.array([1]))
+
+
+def test_index_lookup_validation(aoffs, random_graph):
+    flash = FlashCSR.write(aoffs, "g", random_graph)
+    with pytest.raises(ValueError, match="sorted"):
+        flash.index_lookup(np.array([5, 3], dtype=np.uint64))
+    with pytest.raises(ValueError, match="range"):
+        flash.index_lookup(np.array([9999], dtype=np.uint64))
+    empty_starts, empty_ends = flash.index_lookup(np.array([], dtype=np.uint64))
+    assert len(empty_starts) == 0 and len(empty_ends) == 0
+
+
+def test_stream_edges_covers_graph(aoffs, random_graph):
+    flash = FlashCSR.write(aoffs, "g", random_graph)
+    seen_src, seen_dst = [], []
+    for srcs, dsts, weights in flash.stream_edges(edges_per_chunk=999):
+        assert weights is None
+        assert len(srcs) == len(dsts)
+        seen_src.append(srcs)
+        seen_dst.append(dsts)
+    src, dst = random_graph.edge_list()
+    assert np.array_equal(np.concatenate(seen_src), src)
+    assert np.array_equal(np.concatenate(seen_dst), dst)
+
+
+def test_out_degrees(aoffs, random_graph):
+    flash = FlashCSR.write(aoffs, "g", random_graph)
+    assert np.array_equal(flash.out_degrees(), random_graph.out_degrees())
+
+
+def test_nbytes(aoffs, tiny_graph):
+    flash = FlashCSR.write(aoffs, "t", tiny_graph)
+    assert flash.nbytes == 7 * 8 + 5 * 8
+
+
+def test_wasted_bytes_tracked(aoffs, random_graph):
+    flash = FlashCSR.write(aoffs, "g", random_graph)
+    # Sparse keys far apart: with a large latency gap the reader coalesces
+    # and wastes bytes, which must be recorded.
+    keys = np.array([0, 250, 499], dtype=np.uint64)
+    starts, ends = flash.index_lookup(keys)
+    flash.edges_for(starts, ends)
+    assert flash.wasted_read_bytes >= 0
+
+
+def test_reads_charge_flash_time(aoffs, random_graph):
+    flash = FlashCSR.write(aoffs, "g", random_graph)
+    clock = aoffs.device.clock
+    before = clock.elapsed_s
+    starts, ends = flash.index_lookup(np.arange(0, 500, 3, dtype=np.uint64))
+    flash.edges_for(starts, ends)
+    assert clock.elapsed_s > before

@@ -1,0 +1,97 @@
+"""Graph synthesizers: determinism, shape properties, degree skew."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    kronecker_edges,
+    powerlaw_edges,
+    random_weights,
+    rmat_edges,
+    uniform_edges,
+    webcrawl_edges,
+)
+from repro.algorithms.reference import bfs_levels
+
+
+def test_kronecker_shape():
+    src, dst, n = kronecker_edges(scale=10, edgefactor=16, seed=1)
+    assert n == 1024
+    assert len(src) == len(dst) == 1024 * 16
+    assert src.max() < n and dst.max() < n
+
+
+def test_kronecker_deterministic():
+    a = kronecker_edges(scale=8, edgefactor=8, seed=42)
+    b = kronecker_edges(scale=8, edgefactor=8, seed=42)
+    assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+    c = kronecker_edges(scale=8, edgefactor=8, seed=43)
+    assert not np.array_equal(a[0], c[0])
+
+
+def test_kronecker_degree_skew():
+    # Graph500 graphs are heavy-tailed: the hottest vertex should collect
+    # far more than the mean degree.
+    src, dst, n = kronecker_edges(scale=12, edgefactor=16, seed=1)
+    in_degrees = np.bincount(dst.astype(np.int64), minlength=n)
+    assert in_degrees.max() > 20 * in_degrees.mean()
+
+
+def test_kronecker_validation():
+    with pytest.raises(ValueError):
+        kronecker_edges(scale=0)
+    with pytest.raises(ValueError):
+        kronecker_edges(scale=31)
+
+
+def test_rmat_general():
+    src, dst, n = rmat_edges(scale=8, edgefactor=4, a=0.45, b=0.25, c=0.15, seed=2)
+    assert n == 256 and len(src) == 1024
+    with pytest.raises(ValueError):
+        rmat_edges(scale=8, edgefactor=4, a=0.5, b=0.3, c=0.3)
+
+
+def test_powerlaw_skew_and_range():
+    src, dst, n = powerlaw_edges(5000, 100_000, exponent=1.3, seed=3)
+    assert n == 5000
+    assert src.max() < n and dst.max() < n
+    out_degrees = np.bincount(src.astype(np.int64), minlength=n)
+    assert out_degrees.max() > 30 * out_degrees.mean()
+
+
+def test_powerlaw_validation():
+    with pytest.raises(ValueError):
+        powerlaw_edges(1, 10)
+
+
+def test_webcrawl_long_tail_supersteps():
+    # The WDC-like graph must give BFS a long pendant path: far more BFS
+    # levels than a same-size uniform graph (the X-Stream killer, §V-C.1).
+    src, dst, n = webcrawl_edges(4000, edgefactor=20, tail_fraction=0.05, seed=4)
+    graph = CSRGraph.from_edges(src, dst, n)
+    levels = bfs_levels(graph, 0)
+    assert levels.max() >= 0.05 * 4000  # at least the pendant-path depth
+    # And the bulk of the graph is shallow (web-like).
+    reached = levels[levels >= 0]
+    assert np.median(reached) < 30
+
+
+def test_webcrawl_validation():
+    with pytest.raises(ValueError):
+        webcrawl_edges(8)
+    with pytest.raises(ValueError):
+        webcrawl_edges(100, tail_fraction=0.7)
+
+
+def test_uniform_edges():
+    src, dst, n = uniform_edges(100, 500, seed=5)
+    assert n == 100 and len(src) == 500
+    assert src.max() < 100 and dst.max() < 100
+
+
+def test_random_weights_range():
+    weights = random_weights(1000, seed=6, low=0.5, high=2.0)
+    assert weights.dtype == np.float32
+    assert weights.min() >= 0.5 and weights.max() <= 2.0
+    assert np.array_equal(weights, random_weights(1000, seed=6, low=0.5, high=2.0))

@@ -1,0 +1,147 @@
+"""Graph import/export round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import random_weights, uniform_edges
+from repro.graph.io import (
+    BINARY_MAGIC,
+    load_graph_file,
+    parse_edge_lines,
+    read_binary_edges,
+    read_edge_list,
+    text_size_estimate,
+    write_binary_edges,
+    write_edge_list,
+)
+
+
+@pytest.fixture
+def weighted_graph():
+    src, dst, n = uniform_edges(50, 300, seed=2)
+    return CSRGraph.from_edges(src, dst, n, random_weights(300, seed=2))
+
+
+def edges_of(graph):
+    src, dst = graph.edge_list()
+    return sorted(zip(src.tolist(), dst.tolist()))
+
+
+def test_parse_edge_lines_basic():
+    src, dst, weights = parse_edge_lines(iter([
+        "# comment", "0 1", "2 3", "", "% another comment", "1 0",
+    ]))
+    assert src.tolist() == [0, 2, 1]
+    assert dst.tolist() == [1, 3, 0]
+    assert weights is None
+
+
+def test_parse_edge_lines_weighted():
+    src, dst, weights = parse_edge_lines(iter(["0 1 2.5", "1 2 0.5"]))
+    assert weights.tolist() == [2.5, 0.5]
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(ValueError, match="line 1"):
+        parse_edge_lines(iter(["0 1 2 3"]))
+    with pytest.raises(ValueError, match="mixed"):
+        parse_edge_lines(iter(["0 1", "1 2 0.5"]))
+    with pytest.raises(ValueError, match="line 1"):
+        parse_edge_lines(iter(["a b"]))
+    with pytest.raises(ValueError, match="negative"):
+        parse_edge_lines(iter(["-1 2"]))
+
+
+def test_text_roundtrip(tmp_path, random_graph):
+    path = str(tmp_path / "graph.txt")
+    write_edge_list(random_graph, path)
+    back = read_edge_list(path)
+    assert back.num_vertices == random_graph.num_vertices
+    assert edges_of(back) == edges_of(random_graph)
+
+
+def test_text_roundtrip_weighted(tmp_path, weighted_graph):
+    path = str(tmp_path / "graph.txt")
+    write_edge_list(weighted_graph, path)
+    back = read_edge_list(path)
+    assert back.has_weights
+    assert np.allclose(np.sort(back.weights), np.sort(weighted_graph.weights),
+                       atol=1e-5)
+
+
+def test_binary_roundtrip(tmp_path, random_graph):
+    path = str(tmp_path / "graph.grfb")
+    write_binary_edges(random_graph, path)
+    back = read_binary_edges(path)
+    assert back.num_vertices == random_graph.num_vertices
+    assert edges_of(back) == edges_of(random_graph)
+
+
+def test_binary_roundtrip_weighted(tmp_path, weighted_graph):
+    path = str(tmp_path / "graph.grfb")
+    write_binary_edges(weighted_graph, path)
+    back = read_binary_edges(path)
+    assert back.has_weights
+    assert np.allclose(np.sort(back.weights), np.sort(weighted_graph.weights))
+
+
+def test_binary_rejects_bad_magic(tmp_path):
+    path = str(tmp_path / "bogus.grfb")
+    with open(path, "wb") as f:
+        f.write(b"NOPE" + b"\x00" * 64)
+    with pytest.raises(ValueError, match="not a GraFBoost"):
+        read_binary_edges(path)
+
+
+def test_binary_rejects_truncation(tmp_path, random_graph):
+    path = str(tmp_path / "graph.grfb")
+    write_binary_edges(random_graph, path)
+    with open(path, "rb") as f:
+        data = f.read()
+    with open(path, "wb") as f:
+        f.write(data[:len(data) // 2])
+    with pytest.raises(ValueError, match="truncated"):
+        read_binary_edges(path)
+
+
+def test_load_graph_file_sniffs(tmp_path, random_graph):
+    text_path = str(tmp_path / "g.txt")
+    binary_path = str(tmp_path / "g.grfb")
+    write_edge_list(random_graph, text_path)
+    write_binary_edges(random_graph, binary_path)
+    assert edges_of(load_graph_file(text_path)) == edges_of(random_graph)
+    assert edges_of(load_graph_file(binary_path)) == edges_of(random_graph)
+
+
+def test_empty_edge_list_rejected(tmp_path):
+    path = str(tmp_path / "empty.txt")
+    with open(path, "w") as f:
+        f.write("# nothing here\n")
+    with pytest.raises(ValueError, match="no edges"):
+        read_edge_list(path)
+
+
+def test_text_size_estimate(tmp_path, random_graph):
+    text_path = str(tmp_path / "g.txt")
+    write_edge_list(random_graph, text_path)
+    import os
+    estimate = text_size_estimate(random_graph)
+    assert estimate == pytest.approx(os.path.getsize(text_path), rel=0.3)
+
+
+def test_loaded_graph_runs_through_engine(tmp_path, random_graph):
+    from repro.algorithms.bfs import UNVISITED, run_bfs
+    from repro.algorithms.reference import validate_parents
+    from repro.engine.config import make_system
+
+    path = str(tmp_path / "g.grfb")
+    write_binary_edges(random_graph, path)
+    graph = load_graph_file(path)
+    system = make_system("grafboost", 2.0 ** -14,
+                         num_vertices_hint=graph.num_vertices)
+    flash_graph = system.load_graph(graph)
+    engine = system.engine_for(flash_graph, graph.num_vertices)
+    root = int(np.flatnonzero(graph.out_degrees() > 0)[0])
+    result = run_bfs(engine, root)
+    assert validate_parents(graph, root, result.final_values(), UNVISITED)

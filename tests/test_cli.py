@@ -1,0 +1,89 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_datasets_listing(capsys):
+    code, out, _ = run_cli(capsys, "datasets")
+    assert code == 0
+    for name in ("twitter", "kron28", "kron30", "kron32", "wdc"):
+        assert name in out
+    assert "128,000,000,000" in out  # wdc paper edges
+
+
+def test_profiles_listing(capsys):
+    code, out, _ = run_cli(capsys, "profiles")
+    assert code == 0
+    assert "GraFBoost" in out and "GraFSoft" in out
+    assert "yes" in out and "no" in out  # accelerator column
+
+
+def test_run_engine(capsys):
+    code, out, _ = run_cli(capsys, "run", "--system", "GraFBoost",
+                           "--algorithm", "bfs", "--dataset", "twitter",
+                           "--scale", "6e-5")
+    assert code == 0
+    assert "supersteps" in out
+    assert "MTEPS" in out
+
+
+def test_run_baseline_dnf_exit_code(capsys):
+    # GraphLab cannot hold kron28 in (scaled) memory: nonzero exit, reason shown.
+    code, out, _ = run_cli(capsys, "run", "--system", "GraphLab",
+                           "--algorithm", "pagerank", "--dataset", "kron28",
+                           "--scale", "6.1e-5")
+    assert code == 1
+    assert "DNF" in out and "memory" in out
+
+
+def test_compare_matrix(capsys):
+    code, out, _ = run_cli(capsys, "compare", "--dataset", "twitter",
+                           "--systems", "GraFBoost,GraFSoft",
+                           "--algorithms", "pagerank", "--scale", "6e-5")
+    assert code == 0
+    assert "GraFBoost" in out and "GraFSoft" in out
+    assert "ms" in out
+
+
+def test_compare_rejects_unknown_system(capsys):
+    code, _, err = run_cli(capsys, "compare", "--systems", "Spark",
+                           "--algorithms", "pagerank")
+    assert code == 2
+    assert "unknown systems" in err
+
+
+def test_compare_rejects_unknown_algorithm(capsys):
+    code, _, err = run_cli(capsys, "compare", "--systems", "GraFSoft",
+                           "--algorithms", "trianglecount")
+    assert code == 2
+    assert "unknown algorithms" in err
+
+
+def test_scale_validation():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "--scale", "2.0"])
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "--scale", "0"])
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_run_with_timeline(capsys):
+    code, out, _ = run_cli(capsys, "run", "--system", "GraFBoost",
+                           "--algorithm", "bfs", "--dataset", "twitter",
+                           "--scale", "6e-5", "--timeline")
+    assert code == 0
+    assert "Per-superstep timeline" in out
+    assert "total simulated time" in out

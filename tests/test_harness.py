@@ -1,0 +1,109 @@
+"""Evaluation harness: dispatch, DNF propagation, patience."""
+
+import numpy as np
+import pytest
+
+from repro.harness import (
+    GRAFBOOST_FAMILY,
+    GRAFBOOST_ONE_CARD,
+    WorkloadResult,
+    default_root,
+    load_dataset,
+    results_by,
+    run_baseline_system,
+    run_cell,
+    run_grafboost_system,
+    run_matrix,
+)
+from repro.perf.profiles import SERVER_SSD_ARRAY
+
+SCALE = 2.0 ** -14
+
+
+def test_load_dataset_memoizes():
+    a = load_dataset("twitter", SCALE, seed=3)
+    b = load_dataset("twitter", SCALE, seed=3)
+    assert a is b
+    c = load_dataset("twitter", SCALE, seed=4)
+    assert c is not a
+
+
+def test_default_root_has_edges(tiny_graph):
+    root = default_root(tiny_graph)
+    assert tiny_graph.out_degree(root) > 0
+
+
+def test_default_root_rejects_empty():
+    from repro.graph.csr import CSRGraph
+
+    empty = CSRGraph(3, np.zeros(4, dtype=np.uint64), np.empty(0, np.uint64))
+    with pytest.raises(ValueError):
+        default_root(empty)
+
+
+def test_run_grafboost_system_all_algorithms():
+    graph = load_dataset("twitter", SCALE)
+    for algorithm in ("pagerank", "bfs", "bc"):
+        cell = run_grafboost_system("GraFBoost", graph, algorithm, scale=SCALE)
+        assert cell.completed
+        assert cell.elapsed_s > 0
+        assert cell.flash_bytes > 0
+
+
+def test_run_grafboost_unknown_algorithm():
+    graph = load_dataset("twitter", SCALE)
+    with pytest.raises(ValueError, match="algorithm"):
+        run_grafboost_system("GraFBoost", graph, "kcore", scale=SCALE)
+
+
+def test_run_baseline_unknown_name():
+    graph = load_dataset("twitter", SCALE)
+    with pytest.raises(KeyError, match="unknown baseline"):
+        run_baseline_system("Pregel", graph, "bfs", SERVER_SSD_ARRAY.scaled(SCALE))
+
+
+def test_baseline_dnf_propagates():
+    graph = load_dataset("kron28", SCALE)
+    cell = run_baseline_system("GraphLab", graph, "bfs",
+                               SERVER_SSD_ARRAY.scaled(SCALE), scale=SCALE)
+    assert not cell.completed
+    assert cell.time_or_nan != cell.time_or_nan
+    assert cell.mteps == 0.0
+    assert "memory" in cell.dnf_reason
+
+
+def test_run_cell_dispatch():
+    graph = load_dataset("twitter", SCALE)
+    family = run_cell("GraFSoft", graph, "bfs", scale=SCALE)
+    baseline = run_cell("FlashGraph", graph, "bfs", scale=SCALE)
+    assert family.system in GRAFBOOST_FAMILY
+    assert baseline.system == "FlashGraph"
+    assert family.completed and baseline.completed
+
+
+def test_run_cell_grafboost_profile_override():
+    graph = load_dataset("twitter", SCALE)
+    two_cards = run_cell("GraFBoost", graph, "pagerank", scale=SCALE)
+    one_card = run_cell("GraFBoost", graph, "pagerank", scale=SCALE,
+                        grafboost_profile=GRAFBOOST_ONE_CARD)
+    assert one_card.elapsed_s > two_cards.elapsed_s  # half the flash bandwidth
+
+
+def test_run_matrix_patience_applies():
+    results = run_matrix(["GraFSoft", "GraphChi"], ["bfs"], "wdc",
+                         scale=2.0 ** -18, patience_factor=0.1)
+    by_system = results_by(results, "bfs")
+    assert by_system["GraFSoft"].completed  # the family is never cut off
+    assert not by_system["GraphChi"].completed
+    assert "patience" in by_system["GraphChi"].dnf_reason
+
+
+def test_results_by_filters_algorithm():
+    results = [
+        WorkloadResult("A", "bfs", "d", True, 1.0),
+        WorkloadResult("B", "bfs", "d", True, 2.0),
+        WorkloadResult("A", "pagerank", "d", True, 3.0),
+    ]
+    by_system = results_by(results, "bfs")
+    assert set(by_system) == {"A", "B"}
+    assert by_system["A"].elapsed_s == 1.0
