@@ -46,6 +46,10 @@ class BFSProgram(VertexProgram):
                      src_degrees: np.ndarray) -> np.ndarray:
         return src_ids
 
+    def vertex_messages(self, values: np.ndarray, ids: np.ndarray,
+                        degrees: np.ndarray) -> np.ndarray:
+        return ids
+
     def is_active(self, finalized: np.ndarray, old_values: np.ndarray,
                   old_steps: np.ndarray, superstep: int) -> np.ndarray:
         return old_values == UNVISITED

@@ -37,6 +37,10 @@ class LabelPropagationProgram(VertexProgram):
                      src_degrees: np.ndarray) -> np.ndarray:
         return src_values
 
+    def vertex_messages(self, values: np.ndarray, ids: np.ndarray,
+                        degrees: np.ndarray) -> np.ndarray:
+        return values
+
     def finalize(self, new_values: np.ndarray, old_values: np.ndarray) -> np.ndarray:
         return np.minimum(new_values, old_values)
 

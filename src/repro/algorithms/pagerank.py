@@ -56,6 +56,13 @@ class PageRankProgram(VertexProgram):
                      src_degrees: np.ndarray) -> np.ndarray:
         return src_values / src_degrees.astype(np.float64)
 
+    def vertex_messages(self, values: np.ndarray, ids: np.ndarray,
+                        degrees: np.ndarray) -> np.ndarray:
+        # Zero-degree vertices produce no edges, so their (inf/nan) quotient
+        # is dropped by the engine's repeat; suppress the warning only.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return values / degrees.astype(np.float64)
+
     def finalize(self, new_values: np.ndarray, old_values: np.ndarray) -> np.ndarray:
         return (1.0 - self.damping) / self.num_vertices + self.damping * new_values
 

@@ -20,6 +20,7 @@ are recorded in :class:`SortReduceStats` — the data behind Fig 14.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -54,20 +55,27 @@ class PhaseStat:
 
 
 class SortReduceStats:
-    """Accumulates per-phase reduction statistics across one sort-reduce."""
+    """Accumulates per-phase reduction statistics across one sort-reduce.
+
+    Phases are indexed by number in a dict, so the per-chunk ``record`` calls
+    of phase 0 don't rescan a growing list.
+    """
 
     def __init__(self) -> None:
-        self.phases: list[PhaseStat] = []
+        self._by_phase: dict[int, PhaseStat] = {}
         self.total_input_pairs = 0
 
+    @property
+    def phases(self) -> list[PhaseStat]:
+        """Phase stats in first-recorded order (phase 0 first in practice)."""
+        return list(self._by_phase.values())
+
     def record(self, phase: int, pairs_in: int, pairs_out: int) -> None:
-        for i, existing in enumerate(self.phases):
-            if existing.phase == phase:
-                self.phases[i] = PhaseStat(
-                    phase, existing.pairs_in + pairs_in, existing.pairs_out + pairs_out
-                )
-                return
-        self.phases.append(PhaseStat(phase, pairs_in, pairs_out))
+        existing = self._by_phase.get(phase)
+        if existing is not None:
+            pairs_in += existing.pairs_in
+            pairs_out += existing.pairs_out
+        self._by_phase[phase] = PhaseStat(phase, pairs_in, pairs_out)
 
     def written_fractions(self) -> list[float]:
         """Fig 14's series: data written to storage after each phase, as a
@@ -75,13 +83,14 @@ class SortReduceStats:
         (i.e. the original intermediate-list size)."""
         if self.total_input_pairs == 0:
             return []
-        return [p.pairs_out / self.total_input_pairs for p in sorted(self.phases, key=lambda p: p.phase)]
+        return [self._by_phase[p].pairs_out / self.total_input_pairs
+                for p in sorted(self._by_phase)]
 
     @property
     def final_pairs(self) -> int:
-        if not self.phases:
+        if not self._by_phase:
             return 0
-        return sorted(self.phases, key=lambda p: p.phase)[-1].pairs_out
+        return self._by_phase[max(self._by_phase)].pairs_out
 
 
 class RunHandle:
@@ -158,7 +167,7 @@ class ExternalSortReducer:
         self.name_prefix = f"{name_prefix}-{next(_run_counter)}"
         self.memory = memory
         self.stats = SortReduceStats()
-        self._buffer: list[KVArray] = []
+        self._buffer: deque[KVArray] = deque()
         self._buffered_bytes = 0
         self._runs: list[RunHandle] = []
         self._run_counter = 0
@@ -198,7 +207,7 @@ class ExternalSortReducer:
             head = self._buffer[0]
             remaining = self.chunk_bytes - taken
             if head.nbytes <= remaining:
-                take.append(self._buffer.pop(0))
+                take.append(self._buffer.popleft())
                 taken += head.nbytes
             else:
                 n = max(1, remaining // head.record_bytes)

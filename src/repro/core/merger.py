@@ -37,17 +37,24 @@ def merge_reduce_arrays(runs: list[KVArray], op: ReduceOp) -> KVArray:
     for i, r in enumerate(runs):
         if not r.is_sorted():
             raise ValueError(f"input run {i} is not sorted")
-    return op.reduce_sorted(KVArray.concat(runs).sorted())
+    return op.reduce_sorted(KVArray.concat(runs).sorted(presorted_concat=True),
+                            presorted=True)
 
 
 class _SourceState:
-    """Buffer and lifecycle of one input run during a streaming merge."""
+    """Buffer and lifecycle of one input run during a streaming merge.
 
-    __slots__ = ("chunks", "buffer", "exhausted")
+    The buffer is a *list* of sorted chunks, consolidated lazily only when a
+    prefix is cut off — repeatedly concatenating into one array would copy
+    the surviving suffix on every pull (quadratic on long runs).
+    """
+
+    __slots__ = ("chunks", "parts", "buffered", "exhausted")
 
     def __init__(self, chunks: Iterator[KVArray], value_dtype: np.dtype):
         self.chunks = iter(chunks)
-        self.buffer = KVArray.empty(value_dtype)
+        self.parts: list[KVArray] = []   # non-empty, in global key order
+        self.buffered = 0                # total records across ``parts``
         self.exhausted = False
 
     def pull(self) -> bool:
@@ -57,19 +64,40 @@ class _SourceState:
         for chunk in self.chunks:
             if len(chunk) == 0:
                 continue
-            if len(self.buffer):
-                if chunk.keys[0] < self.buffer.keys[-1]:
-                    raise ValueError("run chunks are not globally sorted")
-                self.buffer = KVArray.concat([self.buffer, chunk])
-            else:
-                self.buffer = chunk
+            if self.parts and chunk.keys[0] < self.parts[-1].keys[-1]:
+                raise ValueError("run chunks are not globally sorted")
+            self.parts.append(chunk)
+            self.buffered += len(chunk)
             return True
         self.exhausted = True
         return False
 
     @property
     def last_key(self) -> int:
-        return int(self.buffer.keys[-1])
+        return int(self.parts[-1].keys[-1])
+
+    def take_all(self) -> list[KVArray]:
+        """Detach the whole buffer as an ordered chunk list."""
+        parts, self.parts, self.buffered = self.parts, [], 0
+        return parts
+
+    def cut_below(self, boundary: int) -> list[KVArray]:
+        """Detach the buffered prefix with keys strictly below ``boundary``."""
+        out: list[KVArray] = []
+        while self.parts:
+            head = self.parts[0]
+            if int(head.keys[-1]) < boundary:
+                out.append(head)
+                del self.parts[0]
+                self.buffered -= len(head)
+                continue
+            cut = int(np.searchsorted(head.keys, boundary, side="left"))
+            if cut:
+                out.append(head.slice(0, cut))
+                self.parts[0] = head.slice(cut, len(head))
+                self.buffered -= cut
+            break
+        return out
 
 
 class StreamingMergeReducer:
@@ -107,13 +135,11 @@ class StreamingMergeReducer:
         while True:
             self._refill(states)
             live = [s for s in states if not s.exhausted]
-            pending = [s for s in states if len(s.buffer)]
+            pending = [s for s in states if s.buffered]
             if not pending:
                 break
             if not live:
-                self._emit([s.buffer for s in pending], sink)
-                for s in pending:
-                    s.buffer = KVArray.empty(self.value_dtype)
+                self._emit([p for s in pending for p in s.take_all()], sink)
                 break
             boundary = min(s.last_key for s in live)
             cut_parts, made_progress = self._cut(states, boundary)
@@ -130,7 +156,7 @@ class StreamingMergeReducer:
 
     def _refill(self, states: list[_SourceState]) -> None:
         for s in states:
-            while not s.exhausted and len(s.buffer) < self.refill_records:
+            while not s.exhausted and s.buffered < self.refill_records:
                 if not s.pull():
                     break
 
@@ -140,14 +166,10 @@ class StreamingMergeReducer:
         parts: list[KVArray] = []
         progress = False
         for s in states:
-            if not len(s.buffer):
-                continue
-            cut = int(np.searchsorted(s.buffer.keys, boundary, side="left"))
-            if cut == 0:
-                continue
-            parts.append(s.buffer.slice(0, cut))
-            s.buffer = s.buffer.slice(cut, len(s.buffer))
-            progress = True
+            got = s.cut_below(boundary)
+            if got:
+                parts.extend(got)
+                progress = True
         return parts, progress
 
     def _extend_past(self, live: list[_SourceState], boundary: int) -> None:
@@ -159,7 +181,8 @@ class StreamingMergeReducer:
         parts = [p for p in parts if len(p)]
         if not parts:
             return
-        merged = self.op.reduce_sorted(KVArray.concat(parts).sorted())
+        merged = self.op.reduce_sorted(
+            KVArray.concat(parts).sorted(presorted_concat=True), presorted=True)
         self.pairs_in += sum(len(p) for p in parts)
         self.pairs_out += len(merged)
         sink(merged)

@@ -40,13 +40,15 @@ class ReduceOp:
 
     # ------------------------------------------------------------------ apply
 
-    def reduce_sorted(self, run: KVArray) -> KVArray:
+    def reduce_sorted(self, run: KVArray, presorted: bool = False) -> KVArray:
         """Collapse duplicate keys of an already-sorted run.
 
         The result is strictly sorted (unique keys).  This is the operation
-        interleaved after every merge step in sort-reduce.
+        interleaved after every merge step in sort-reduce.  ``presorted``
+        skips the sortedness guard for callers that just sorted the run
+        themselves.
         """
-        if not run.is_sorted():
+        if not presorted and not run.is_sorted():
             raise ValueError("reduce_sorted requires a key-sorted run")
         n = len(run)
         if n == 0:

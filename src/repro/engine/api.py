@@ -58,6 +58,21 @@ class VertexProgram:
         """
         raise NotImplementedError
 
+    def vertex_messages(self, values: np.ndarray, ids: np.ndarray,
+                        degrees: np.ndarray) -> np.ndarray | None:
+        """Per-active-vertex message value, or None when updates are per-edge.
+
+        Many programs send the same value along every out-edge of a vertex
+        (PageRank: value/degree; BFS: the source id; CC: the label).
+        Returning that per-vertex array lets the engine expand it with a
+        single repeat instead of materializing per-edge source value/id/
+        degree arrays first — the result is element-for-element identical to
+        calling :meth:`edge_program` on the expanded arrays.  Programs whose
+        updates genuinely depend on the individual edge (weights) keep the
+        default None and take the per-edge path.
+        """
+        return None
+
     def finalize(self, new_values: np.ndarray, old_values: np.ndarray) -> np.ndarray:
         """Combine the reduced update with the previous vertex value."""
         return new_values

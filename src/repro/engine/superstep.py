@@ -170,10 +170,17 @@ class SuperstepExecutor:
         if len(targets) == 0:
             return 0
         weights = self.graph.weights_for(starts, ends) if program.uses_weights else None
-        src_values = np.repeat(active_values, degrees)
-        src_ids = np.repeat(active_keys, degrees)
-        src_degrees = np.repeat(degrees, degrees).astype(np.uint64)
-        messages = program.edge_program(src_values, src_ids, weights, src_degrees)
+        per_vertex = None
+        if weights is None:
+            per_vertex = program.vertex_messages(
+                active_values, active_keys, degrees.astype(np.uint64))
+        if per_vertex is not None:
+            messages = np.repeat(per_vertex, degrees)
+        else:
+            src_values = np.repeat(active_values, degrees)
+            src_ids = np.repeat(active_keys, degrees)
+            src_degrees = np.repeat(degrees, degrees).astype(np.uint64)
+            messages = program.edge_program(src_values, src_ids, weights, src_degrees)
         update = KVArray(targets, np.asarray(messages, dtype=program.value_dtype))
         reducer.add(update)
         self.backend.charge_edge_stream(self.clock, update.nbytes)

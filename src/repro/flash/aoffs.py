@@ -39,9 +39,20 @@ class FlashFile:
         self.page_bytes = page_bytes
         self.blocks: list[int] = []
         self.size = 0              # logical bytes, including the tail buffer
-        self.tail = bytearray()    # partial last page, not yet on flash
+        # Partial last page, not yet on flash, kept as a fragment list so
+        # appends never recopy the accumulated tail; a flush joins once.
+        self.tail_parts: list[bytes] = []
+        self.tail_len = 0
         self.flushed_pages = 0     # pages already programmed to flash
         self.sealed = False
+
+    def tail_bytes(self) -> bytes:
+        """The unflushed tail as one bytes object (consolidates in place)."""
+        if len(self.tail_parts) != 1:
+            joined = b"".join(self.tail_parts)
+            self.tail_parts = [joined] if joined else []
+            return joined
+        return self.tail_parts[0]
 
 
 class AppendOnlyFlashFS:
@@ -139,24 +150,44 @@ class AppendOnlyFlashFS:
         f = self._files[name]
         if f.sealed:
             raise FlashError(f"append to sealed AOFFS file {name!r}")
-        f.tail.extend(data)
+        if data:
+            f.tail_parts.append(bytes(data))
+            f.tail_len += len(data)
         f.size += len(data)
         self.total_appended_bytes += len(data)
         self._flush_full_pages(f)
 
     def _flush_full_pages(self, f: FlashFile) -> None:
         page_bytes = self.geometry.page_bytes
-        n_full = len(f.tail) // page_bytes
+        n_full = f.tail_len // page_bytes
         if n_full == 0:
             return
-        writes: list[tuple[int, int, bytes]] = []
-        next_page_index = f.flushed_pages
-        for i in range(n_full):
-            block, page = self._physical_addr(f, next_page_index + i, allocate=True)
-            start = i * page_bytes
-            writes.append((block, page, bytes(f.tail[start:start + page_bytes])))
+        pages_per_block = self.geometry.pages_per_block
+        first = f.flushed_pages
+        # Claim every block the batch will touch, in ascending page order —
+        # the identical wear-leveled allocation sequence the per-page path
+        # produced.
+        last_block_index = (first + n_full - 1) // pages_per_block
+        while len(f.blocks) <= last_block_index:
+            if not self._free_blocks:
+                raise FlashError(f"AOFFS out of space appending to {f.name!r}")
+            f.blocks.append(self._allocate_block())
+        flush_bytes = n_full * page_bytes
+        blob = f.tail_bytes()
+        page_index = np.arange(first, first + n_full)
+        blocks = np.asarray(f.blocks, dtype=np.int64)[page_index // pages_per_block].tolist()
+        pages = (page_index % pages_per_block).tolist()
+        # Zero-copy page views into the joined tail; the device stores them
+        # as-is, and every consumer goes through the buffer protocol.
+        view = memoryview(blob)
+        writes = [
+            (block, page, view[start:start + page_bytes])
+            for block, page, start in zip(blocks, pages, range(0, flush_bytes, page_bytes))
+        ]
         self.device.write_pages(writes)
-        del f.tail[:n_full * page_bytes]
+        remainder = blob[flush_bytes:]
+        f.tail_parts = [remainder] if remainder else []
+        f.tail_len -= flush_bytes
         f.flushed_pages += n_full
 
     def seal(self, name: str) -> None:
@@ -164,11 +195,13 @@ class AppendOnlyFlashFS:
         f = self._file(name)
         if f.sealed:
             return
-        if f.tail:
-            padded = bytes(f.tail) + b"\x00" * (self.geometry.page_bytes - len(f.tail))
+        if f.tail_len:
+            tail = f.tail_bytes()
+            padded = tail + b"\x00" * (self.geometry.page_bytes - len(tail))
             block, page = self._physical_addr(f, f.flushed_pages, allocate=True)
             self.device.write_page(block, page, padded)
-            f.tail.clear()
+            f.tail_parts = []
+            f.tail_len = 0
             f.flushed_pages += 1
         f.sealed = True
 
@@ -210,7 +243,13 @@ class AppendOnlyFlashFS:
         if offset < flushed_bytes:
             first_page = offset // page_bytes
             last_page = (flash_end - 1) // page_bytes
-            addresses = [self._physical_addr(f, i) for i in range(first_page, last_page + 1)]
+            if last_page - first_page > 8:
+                ppb = self.geometry.pages_per_block
+                idx = np.arange(first_page, last_page + 1)
+                blk = np.asarray(f.blocks, dtype=np.int64)[idx // ppb]
+                addresses = list(zip(blk.tolist(), (idx % ppb).tolist()))
+            else:
+                addresses = [self._physical_addr(f, i) for i in range(first_page, last_page + 1)]
             pages = self.device.read_pages(addresses)
             self._charge_prefetch(f, first_page, len(addresses))
             blob = b"".join(pages)
@@ -219,7 +258,7 @@ class AppendOnlyFlashFS:
         if offset + nbytes > flushed_bytes:
             tail_start = max(0, offset - flushed_bytes)
             tail_end = offset + nbytes - flushed_bytes
-            parts.append(bytes(f.tail[tail_start:tail_end]))
+            parts.append(f.tail_bytes()[tail_start:tail_end])
         return b"".join(parts)
 
     def stream(self, name: str, chunk_bytes: int):

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.perf.clock import SimClock
 from repro.perf.profiles import HardwareProfile
 
@@ -103,7 +105,9 @@ class FlashDevice:
         self.traffic_scale = traffic_scale
         n = geometry.num_blocks
         self._data: dict[tuple[int, int], bytes] = {}
-        self._page_state = [[PAGE_ERASED] * geometry.pages_per_block for _ in range(n)]
+        # Page states live in one int8 matrix so batched writes/reads can
+        # validate and update whole program-order runs with array slices.
+        self._page_state = np.full((n, geometry.pages_per_block), PAGE_ERASED, dtype=np.int8)
         self._next_program_page = [0] * n
         self.erase_counts = [0] * n
         self.total_pages_written = 0
@@ -148,7 +152,28 @@ class FlashDevice:
         """Batched/streamed read: one latency for the batch, bandwidth for all bytes."""
         if not addresses:
             return []
-        out = [self._read_silent(b, p) for b, p in addresses]
+        # Group the batch into program-order runs so state validation is one
+        # array-slice check per run instead of per page.
+        out: list[bytes] = []
+        data = self._data
+        i, n = 0, len(addresses)
+        while i < n:
+            block, page0 = addresses[i]
+            j, p = i + 1, page0
+            while j < n and addresses[j][0] == block and addresses[j][1] == p + 1:
+                p += 1
+                j += 1
+            if j - i == 1:
+                out.append(self._read_silent(block, page0))
+            else:
+                self._check_page(block, page0)
+                self._check_page(block, p)
+                states = self._page_state[block, page0:p + 1]
+                if (states == PAGE_ERASED).any():
+                    bad = page0 + int(np.flatnonzero(states == PAGE_ERASED)[0])
+                    raise FlashError(f"read of erased page ({block}, {bad})")
+                out.extend(data[(block, q)] for q in range(page0, p + 1))
+            i = j
         nbytes = int(sum(len(d) for d in out) * self.traffic_scale)
         transfer = self._striped_seconds(
             ((b, len(d)) for (b, _p), d in zip(addresses, out)),
@@ -176,7 +201,7 @@ class FlashDevice:
 
     def _read_silent(self, block: int, page: int) -> bytes:
         self._check_page(block, page)
-        state = self._page_state[block][page]
+        state = self._page_state[block, page]
         if state == PAGE_ERASED:
             # Reading an erased page returns all-ones in real NAND; engines
             # must not depend on it, so treat it as a logic error.
@@ -199,8 +224,20 @@ class FlashDevice:
         """Batched sequential program: one latency for the batch."""
         if not writes:
             return
-        for block, page, data in writes:
-            self._write_silent(block, page, data)
+        # Group into program-order runs; each run is validated and committed
+        # with one array-slice state update instead of per-page bookkeeping.
+        i, n = 0, len(writes)
+        while i < n:
+            block, page0, _ = writes[i]
+            j, p = i + 1, page0
+            while j < n and writes[j][0] == block and writes[j][1] == p + 1:
+                p += 1
+                j += 1
+            if j - i == 1:
+                self._write_silent(block, page0, writes[i][2])
+            else:
+                self._program_run(block, page0, writes[i:j])
+            i = j
         nbytes = int(sum(len(d) for _, _, d in writes) * self.traffic_scale)
         transfer = self._striped_seconds(
             ((block, len(d)) for block, _page, d in writes),
@@ -212,11 +249,40 @@ class FlashDevice:
             ops=len(writes),
         )
 
+    def _program_run(self, block: int, page0: int, run: list[tuple[int, int, bytes]]) -> None:
+        """Program a contiguous in-order run of pages within one block.
+
+        Enforces exactly the constraints of :meth:`_write_silent` — erased
+        state, program order, page-size bound — then commits the whole run
+        with one state-slice assignment and one dict update.
+        """
+        count = len(run)
+        last = page0 + count - 1
+        self._check_page(block, page0)
+        self._check_page(block, last)
+        page_bytes = self.geometry.page_bytes
+        if any(len(d) > page_bytes for _, _, d in run):
+            oversize = next(len(d) for _, _, d in run if len(d) > page_bytes)
+            raise FlashError(f"write of {oversize} B exceeds page size {page_bytes}")
+        if page0 != self._next_program_page[block]:
+            raise FlashError(
+                f"out-of-order program of page {page0} in block {block}; "
+                f"next programmable page is {self._next_program_page[block]}"
+            )
+        states = self._page_state[block, page0:last + 1]
+        if states.any():  # PAGE_ERASED == 0
+            bad = page0 + int(np.flatnonzero(states)[0])
+            raise FlashError(f"write to un-erased page ({block}, {bad})")
+        self._data.update(((block, p), d) for _, p, d in run)
+        self._page_state[block, page0:last + 1] = PAGE_VALID
+        self._next_program_page[block] = last + 1
+        self.total_pages_written += count
+
     def _write_silent(self, block: int, page: int, data: bytes) -> None:
         self._check_page(block, page)
         if len(data) > self.geometry.page_bytes:
             raise FlashError(f"write of {len(data)} B exceeds page size {self.geometry.page_bytes}")
-        if self._page_state[block][page] != PAGE_ERASED:
+        if self._page_state[block, page] != PAGE_ERASED:
             raise FlashError(f"write to un-erased page ({block}, {page})")
         if page != self._next_program_page[block]:
             raise FlashError(
@@ -224,7 +290,7 @@ class FlashDevice:
                 f"next programmable page is {self._next_program_page[block]}"
             )
         self._data[(block, page)] = data
-        self._page_state[block][page] = PAGE_VALID
+        self._page_state[block, page] = PAGE_VALID
         self._next_program_page[block] = page + 1
         self.total_pages_written += 1
 
@@ -233,9 +299,9 @@ class FlashDevice:
     def invalidate_page(self, block: int, page: int) -> None:
         """Mark a written page's contents dead (host/FTL metadata, no flash op)."""
         self._check_page(block, page)
-        if self._page_state[block][page] != PAGE_VALID:
+        if self._page_state[block, page] != PAGE_VALID:
             raise FlashError(f"invalidate of non-valid page ({block}, {page})")
-        self._page_state[block][page] = PAGE_INVALID
+        self._page_state[block, page] = PAGE_INVALID
         self._data.pop((block, page), None)
 
     # ------------------------------------------------------------------ erases
@@ -249,8 +315,8 @@ class FlashDevice:
         erases inside an FTL stay foreground — they really do block writes.
         """
         self._check_block(block)
+        self._page_state[block, :] = PAGE_ERASED
         for page in range(self.geometry.pages_per_block):
-            self._page_state[block][page] = PAGE_ERASED
             self._data.pop((block, page), None)
         self._next_program_page[block] = 0
         self.erase_counts[block] += 1
@@ -264,12 +330,12 @@ class FlashDevice:
 
     def page_state(self, block: int, page: int) -> int:
         self._check_page(block, page)
-        return self._page_state[block][page]
+        return int(self._page_state[block, page])
 
     def valid_pages(self, block: int) -> int:
         self._check_block(block)
-        return sum(1 for s in self._page_state[block] if s == PAGE_VALID)
+        return int(np.count_nonzero(self._page_state[block] == PAGE_VALID))
 
     def block_is_erased(self, block: int) -> bool:
         self._check_block(block)
-        return all(s == PAGE_ERASED for s in self._page_state[block])
+        return not self._page_state[block].any()  # PAGE_ERASED == 0

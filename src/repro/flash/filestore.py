@@ -25,15 +25,26 @@ from repro.flash.ftl import SSD
 
 
 class _SSDFile:
-    __slots__ = ("name", "lpns", "size", "tail", "flushed_pages", "sealed")
+    __slots__ = ("name", "lpns", "size", "tail_parts", "tail_len", "flushed_pages", "sealed")
 
     def __init__(self, name: str):
         self.name = name
         self.lpns: list[int] = []
         self.size = 0
-        self.tail = bytearray()
+        # Unflushed bytes as a fragment list: appending never recopies the
+        # accumulated tail, and a flush joins the fragments exactly once.
+        self.tail_parts: list[bytes] = []
+        self.tail_len = 0
         self.flushed_pages = 0
         self.sealed = False
+
+    def tail_bytes(self) -> bytes:
+        """The unflushed tail as one bytes object (consolidates in place)."""
+        if len(self.tail_parts) != 1:
+            joined = b"".join(self.tail_parts)
+            self.tail_parts = [joined] if joined else []
+            return joined
+        return self.tail_parts[0]
 
 
 class SSDFileSystem:
@@ -109,38 +120,53 @@ class SSDFileSystem:
         f = self._files[name]
         if f.sealed:
             raise FlashError(f"append to sealed SSD file {name!r}")
-        f.tail.extend(data)
+        if data:
+            f.tail_parts.append(bytes(data))
+            f.tail_len += len(data)
         f.size += len(data)
         self._flush_full_pages(f)
 
     def _allocate_lpn(self, f: _SSDFile) -> int:
-        if not self._free_lpns:
+        return self._allocate_lpns(f, 1)[0]
+
+    def _allocate_lpns(self, f: _SSDFile, n: int) -> list[int]:
+        """Batch allocation, in the same order as ``n`` single pops."""
+        if len(self._free_lpns) < n:
             raise FlashError(f"SSD file system out of space appending to {f.name!r}")
-        lpn = self._free_lpns.pop()
-        f.lpns.append(lpn)
-        return lpn
+        lpns = self._free_lpns[-n:][::-1]
+        del self._free_lpns[len(self._free_lpns) - n:]
+        f.lpns.extend(lpns)
+        return lpns
 
     def _flush_full_pages(self, f: _SSDFile) -> None:
         page_bytes = self.page_bytes
-        n_full = len(f.tail) // page_bytes
+        n_full = f.tail_len // page_bytes
         if n_full == 0:
             return
-        writes = []
-        for i in range(n_full):
-            start = i * page_bytes
-            writes.append((self._allocate_lpn(f), bytes(f.tail[start:start + page_bytes])))
+        flush_bytes = n_full * page_bytes
+        blob = f.tail_bytes()
+        lpns = self._allocate_lpns(f, n_full)
+        # Zero-copy page views into the joined tail; the device stores them
+        # as-is, and every consumer goes through the buffer protocol.
+        view = memoryview(blob)
+        writes = [(lpn, view[start:start + page_bytes])
+                  for lpn, start in zip(lpns, range(0, flush_bytes, page_bytes))]
         self.ssd.write_pages(writes)
-        del f.tail[:n_full * page_bytes]
+        remainder = blob[flush_bytes:]
+        f.tail_parts = [remainder] if remainder else []
+        f.tail_len -= flush_bytes
         f.flushed_pages += n_full
 
     def seal(self, name: str) -> None:
         f = self._file(name)
         if f.sealed:
             return
-        if f.tail:
-            padded = bytes(f.tail) + b"\x00" * (self.page_bytes - len(f.tail))
+        if f.tail_len:
+            tail = f.tail_bytes()
+            padded = tail + b"\x00" * (self.page_bytes - len(tail))
             self.ssd.write_page(self._allocate_lpn(f), padded)
-            f.tail.clear()
+            f.tail_parts = []
+            f.tail_len = 0
             f.flushed_pages += 1
         f.sealed = True
 
@@ -195,7 +221,7 @@ class SSDFileSystem:
         if offset + nbytes > flushed_bytes:
             tail_start = max(0, offset - flushed_bytes)
             tail_end = offset + nbytes - flushed_bytes
-            parts.append(bytes(f.tail[tail_start:tail_end]))
+            parts.append(f.tail_bytes()[tail_start:tail_end])
         return b"".join(parts)
 
     def stream(self, name: str, chunk_bytes: int):

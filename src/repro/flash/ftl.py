@@ -94,29 +94,32 @@ class PageMappedFTL:
         but not-yet-programmed pages.  GC relocations are charged as the
         individual (random) operations they physically are.
         """
-        geometry = self.device.geometry
-        pending: list[tuple[int, int, bytes]] = []
-        pending_lpns: list[tuple[int, int, int]] = []
-        for lpn, data in writes:
+        pages_per_block = self.device.geometry.pages_per_block
+        for lpn, _data in writes:
             self._check_lpn(lpn)
-            if self._active_block is None or self._active_page >= geometry.pages_per_block:
-                self._flush_batch(pending, pending_lpns)
-                pending, pending_lpns = [], []
+        i, n = 0, len(writes)
+        while i < n:
+            if self._active_block is None or self._active_page >= pages_per_block:
                 self._active_block = self._take_free_block()
                 self._active_page = 0
-            block, page = self._active_block, self._active_page
-            self._active_page += 1
-            pending.append((block, page, data))
-            pending_lpns.append((lpn, block, page))
-        self._flush_batch(pending, pending_lpns)
-
-    def _flush_batch(self, pending: list[tuple[int, int, bytes]],
-                     pending_lpns: list[tuple[int, int, int]]) -> None:
-        if not pending:
-            return
-        self.device.write_pages(pending)
-        for lpn, block, page in pending_lpns:
-            self._commit_mapping(lpn, block, page)
+            take = min(n - i, pages_per_block - self._active_page)
+            block, page0 = self._active_block, self._active_page
+            self._active_page += take
+            batch = writes[i:i + take]
+            self.device.write_pages(
+                [(block, page0 + j, data) for j, (_lpn, data) in enumerate(batch)])
+            lpn_map, reverse = self._map, self._reverse
+            invalidate = self.device.invalidate_page
+            for j, (lpn, _data) in enumerate(batch):
+                old = lpn_map.get(lpn)
+                if old is not None:
+                    invalidate(old[0], old[1])
+                    del reverse[old]
+                addr = (block, page0 + j)
+                lpn_map[lpn] = addr
+                reverse[addr] = lpn
+            self.user_pages_written += take
+            i += take
 
     def _commit_mapping(self, lpn: int, block: int, page: int) -> None:
         old = self._map.get(lpn)
@@ -220,7 +223,13 @@ class SSD:
         if not lpns:
             return []
         self.device.clock.charge("flash", self.ftl_overhead_s)
-        return self.device.read_pages([self.ftl.translate(lpn) for lpn in lpns])
+        lpn_map = self.ftl._map
+        try:
+            addresses = [lpn_map[lpn] for lpn in lpns]
+        except KeyError:
+            # Fall back for the exact range/unmapped error of translate().
+            addresses = [self.ftl.translate(lpn) for lpn in lpns]
+        return self.device.read_pages(addresses)
 
     def write_pages(self, writes: list[tuple[int, bytes]]) -> None:
         """Sequential/batched write: one FTL overhead for the whole batch."""

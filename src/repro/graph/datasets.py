@@ -17,6 +17,8 @@ merges at the scaled DRAM sizes.
 from __future__ import annotations
 
 import math
+import os
+import tempfile
 from dataclasses import dataclass
 from typing import Callable
 
@@ -140,10 +142,88 @@ def dataset_by_name(name: str) -> GraphDataset:
         raise KeyError(f"unknown dataset {name!r}; known: {known}") from None
 
 
+#: Bump when the synthesized graphs or the cache layout change, so stale
+#: cache entries from older code are never loaded.
+DATASET_CACHE_VERSION = 1
+
+
+def dataset_cache_dir() -> str | None:
+    """Directory for the persistent dataset cache, or None when disabled.
+
+    ``REPRO_DATASET_CACHE`` overrides the default of
+    ``~/.cache/repro-datasets``; setting it to ``off`` (or ``0``) disables
+    on-disk caching entirely.
+    """
+    override = os.environ.get("REPRO_DATASET_CACHE")
+    if override is not None:
+        if override.strip().lower() in ("", "off", "0", "none"):
+            return None
+        return override
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro-datasets")
+
+
+def _cache_path(name: str, scale_factor: float, seed: int, weighted: bool) -> str | None:
+    base = dataset_cache_dir()
+    if base is None:
+        return None
+    # float().hex() is exact, so distinct scales can never collide.
+    scale_key = float(scale_factor).hex().replace("0x", "").replace(".", "_")
+    fname = (f"{name}-s{scale_key}-r{seed}-w{int(weighted)}"
+             f"-v{DATASET_CACHE_VERSION}.npz")
+    return os.path.join(base, fname)
+
+
+def _load_cached(path: str) -> CSRGraph | None:
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            weights = data["weights"] if "weights" in data.files else None
+            return CSRGraph(int(data["num_vertices"]), data["offsets"],
+                            data["targets"], weights)
+    except (OSError, KeyError, ValueError):
+        return None  # unreadable/corrupt entry: fall through to a rebuild
+
+
+def _store_cached(path: str, graph: CSRGraph) -> None:
+    try:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        arrays = {
+            "num_vertices": np.int64(graph.num_vertices),
+            "offsets": graph.offsets,
+            "targets": graph.targets,
+        }
+        if graph.weights is not None:
+            arrays["weights"] = graph.weights
+        # Write-then-rename so a concurrent reader never sees a torn file.
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez(fh, **arrays)
+            os.replace(tmp, path)
+        except BaseException:
+            os.unlink(tmp)
+            raise
+    except OSError:
+        pass  # caching is best-effort; the build result is still returned
+
+
 def build_graph(name: str, scale_factor: float = DEFAULT_SCALE, seed: int = 1,
-                weighted: bool = False) -> CSRGraph:
-    """Synthesize a dataset and return it as an in-memory CSR graph."""
+                weighted: bool = False, cache: bool = True) -> CSRGraph:
+    """Synthesize a dataset and return it as an in-memory CSR graph.
+
+    Built graphs are persisted to :func:`dataset_cache_dir` keyed by
+    (name, scale, seed, weighted, cache version); later builds of the same
+    graph load the CSR arrays instead of re-running the generator.  Pass
+    ``cache=False`` to bypass the cache in both directions.
+    """
+    path = _cache_path(name, scale_factor, seed, weighted) if cache else None
+    if path is not None and os.path.exists(path):
+        cached = _load_cached(path)
+        if cached is not None:
+            return cached
     dataset = dataset_by_name(name)
     src, dst, n = dataset.edges(scale_factor, seed)
     weights = generators.random_weights(len(src), seed=seed) if weighted else None
-    return CSRGraph.from_edges(src, dst, n, weights)
+    graph = CSRGraph.from_edges(src, dst, n, weights)
+    if path is not None:
+        _store_cached(path, graph)
+    return graph

@@ -30,18 +30,30 @@ WEIGHT_DTYPE = np.dtype("<f4")
 
 def coalesce_ranges(starts: np.ndarray, ends: np.ndarray, max_gap: int) -> list[tuple[int, int]]:
     """Merge sorted, possibly-overlapping [start, end) ranges whose gaps are
-    at most ``max_gap``; returns merged (start, end) spans."""
-    spans: list[tuple[int, int]] = []
-    for s, e in zip(starts, ends):
-        s, e = int(s), int(e)
-        if e <= s:
-            continue
-        if spans and s - spans[-1][1] <= max_gap:
-            prev_s, prev_e = spans[-1]
-            spans[-1] = (prev_s, max(prev_e, e))
-        else:
-            spans.append((s, e))
-    return spans
+    at most ``max_gap``; returns merged (start, end) spans.
+
+    A span boundary falls wherever a start exceeds the running maximum of
+    all previous ends by more than ``max_gap``.  The global running maximum
+    and the per-span running maximum agree at every boundary decision (a
+    carried-over larger end from an earlier span implies the gap test fails
+    either way), so one cummax pass finds the boundaries and a segmented
+    reduction recovers the exact per-span end.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    ends = np.asarray(ends, dtype=np.int64)
+    nonempty = ends > starts
+    if not nonempty.all():
+        starts, ends = starts[nonempty], ends[nonempty]
+    if len(starts) == 0:
+        return []
+    covered = np.maximum.accumulate(ends)
+    first = np.empty(len(starts), dtype=bool)
+    first[0] = True
+    np.greater(starts[1:] - covered[:-1], max_gap, out=first[1:])
+    boundaries = np.flatnonzero(first)
+    span_starts = starts[boundaries]
+    span_ends = np.maximum.reduceat(ends, boundaries)
+    return list(zip(span_starts.tolist(), span_ends.tolist()))
 
 
 class FlashCSR:
@@ -127,17 +139,11 @@ class FlashCSR:
         item = OFFSET_DTYPE.itemsize
         gap = max(1, self._latency_gap_bytes() // item)
         spans = coalesce_ranges(keys, keys + 2, gap)
-        starts = np.empty(len(keys), dtype=np.int64)
-        ends = np.empty(len(keys), dtype=np.int64)
-        for span_start, span_end in spans:
-            block = self.store.read_array(
-                self.index_file, OFFSET_DTYPE, span_start, span_end - span_start
-            ).astype(np.int64)
-            mask = (keys >= span_start) & (keys + 2 <= span_end)
-            local = keys[mask] - span_start
-            starts[mask] = block[local]
-            ends[mask] = block[local + 1]
-        return starts, ends
+        block, span_starts, block_base = self._read_spans(self.index_file, OFFSET_DTYPE, spans)
+        block = block.astype(np.int64)
+        span_idx = np.searchsorted(span_starts, keys, side="right") - 1
+        local = block_base[span_idx] + (keys - span_starts[span_idx])
+        return block[local], block[local + 1]
 
     def edges_for(self, starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
         """Destination ids of the edge ranges, concatenated in order."""
@@ -148,36 +154,48 @@ class FlashCSR:
             raise ValueError(f"graph {self.prefix!r} has no edge weights")
         return self._gather(self.weight_file, WEIGHT_DTYPE, starts, ends)
 
+    def _read_spans(self, filename: str, dtype: np.dtype, spans: list[tuple[int, int]],
+                    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Read every coalesced span (one store read each, in order) and
+        return (concatenated data, span starts, offset of each span's data
+        in the concatenation)."""
+        blocks = [self.store.read_array(filename, dtype, s, e - s) for s, e in spans]
+        span_starts = np.fromiter((s for s, _ in spans), dtype=np.int64, count=len(spans))
+        lengths = np.fromiter((len(b) for b in blocks), dtype=np.int64, count=len(blocks))
+        block_base = np.zeros(len(spans), dtype=np.int64)
+        np.cumsum(lengths[:-1], out=block_base[1:])
+        return (blocks[0] if len(blocks) == 1 else np.concatenate(blocks),
+                span_starts, block_base)
+
     def _gather(self, filename: str, dtype: np.dtype, starts: np.ndarray,
                 ends: np.ndarray) -> np.ndarray:
-        total = int(np.sum(ends - starts))
+        starts = np.asarray(starts, dtype=np.int64)
+        ends = np.asarray(ends, dtype=np.int64)
+        lengths = np.maximum(ends - starts, 0)
+        total = int(lengths.sum())
         if total == 0:
             return np.empty(0, dtype=dtype)
         item = dtype.itemsize
         gap = max(1, self._latency_gap_bytes() // item)
         spans = coalesce_ranges(starts, ends, gap)
-        out = np.empty(total, dtype=dtype)
-        pos = 0
-        span_index = 0
-        block: np.ndarray | None = None
-        for s, e in zip(starts, ends):
-            s, e = int(s), int(e)
-            if e <= s:
-                continue
-            # Ranges and spans are both sorted; advance to the covering span.
-            while block is None or e > spans[span_index][1]:
-                if block is not None:
-                    span_index += 1
-                span_start, span_end = spans[span_index]
-                block = self.store.read_array(filename, dtype, span_start, span_end - span_start)
-                self.wasted_read_bytes += (span_end - span_start) * item
-            span_start = spans[span_index][0]
-            n = e - s
-            out[pos:pos + n] = block[s - span_start:e - span_start]
-            pos += n
+        block, span_starts, block_base = self._read_spans(filename, dtype, spans)
+        self.wasted_read_bytes += len(block) * item
+        # Scatter-gather index arithmetic: each range's slice of its covering
+        # span, flattened into one fancy-index read of the concatenated data.
+        nonempty = lengths > 0
+        s_nz, len_nz = starts[nonempty], lengths[nonempty]
+        # Dense supersteps request adjacent ranges tiling one span exactly —
+        # the gather is the identity and the fancy index can be skipped.
+        if (len(spans) == 1 and total == len(block) and s_nz[0] == span_starts[0]
+                and np.array_equal(s_nz[1:], s_nz[:-1] + len_nz[:-1])):
+            self.wasted_read_bytes -= total * item
+            return block.copy()  # writable, like the fancy-indexed result
+        span_idx = np.searchsorted(span_starts, s_nz, side="right") - 1
+        base = block_base[span_idx] + (s_nz - span_starts[span_idx])
+        range_start = np.cumsum(len_nz) - len_nz
+        within = np.arange(total, dtype=np.int64) - np.repeat(range_start, len_nz)
+        out = block[np.repeat(base, len_nz) + within]
         self.wasted_read_bytes -= total * item
-        if pos != total:
-            raise AssertionError("gather did not cover all requested ranges")
         return out
 
     # ---------------------------------------------------------------- streams

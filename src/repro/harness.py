@@ -64,7 +64,13 @@ _GRAPH_CACHE: dict[tuple, CSRGraph] = {}
 
 
 def load_dataset(name: str, scale: float = DEFAULT_SCALE, seed: int = 1) -> CSRGraph:
-    """Build (and memoize) a dataset at the requested scale."""
+    """Build (and memoize) a dataset at the requested scale.
+
+    In-process results are memoized here; across processes,
+    :func:`repro.graph.datasets.build_graph` persists built graphs to the
+    on-disk dataset cache (``REPRO_DATASET_CACHE``), so repeated benchmark
+    invocations skip synthesis entirely.
+    """
     key = (name, scale, seed)
     if key not in _GRAPH_CACHE:
         _GRAPH_CACHE[key] = build_graph(name, scale, seed=seed)

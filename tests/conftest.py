@@ -17,6 +17,20 @@ from repro.perf.profiles import GRAFBOOST, GRAFSOFT
 SMALL_GEOMETRY = FlashGeometry(page_bytes=4096, pages_per_block=16, num_blocks=256)
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_dataset_cache(tmp_path_factory):
+    """Point the on-disk dataset cache at a per-session tmp dir so tests never
+    read or pollute the user's ~/.cache (while still exercising the cache)."""
+    import os
+    old = os.environ.get("REPRO_DATASET_CACHE")
+    os.environ["REPRO_DATASET_CACHE"] = str(tmp_path_factory.mktemp("dataset-cache"))
+    yield
+    if old is None:
+        os.environ.pop("REPRO_DATASET_CACHE", None)
+    else:
+        os.environ["REPRO_DATASET_CACHE"] = old
+
+
 @pytest.fixture
 def clock() -> SimClock:
     return SimClock()

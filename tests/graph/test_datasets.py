@@ -76,3 +76,63 @@ def test_default_scale_is_tractable():
     # The biggest dataset at default scale stays under ten million edges.
     wdc = DATASETS["wdc"]
     assert wdc.scaled_edges(DEFAULT_SCALE) < 10_000_000
+
+
+# --------------------------------------------------------------------- cache
+
+
+def test_cache_round_trip_identical(tmp_path, monkeypatch):
+    import numpy as np
+    monkeypatch.setenv("REPRO_DATASET_CACHE", str(tmp_path))
+    cold = build_graph("kron30", 2.0 ** -16, seed=5, weighted=True)
+    assert len(list(tmp_path.iterdir())) == 1
+    warm = build_graph("kron30", 2.0 ** -16, seed=5, weighted=True)
+    assert warm.num_vertices == cold.num_vertices
+    assert np.array_equal(warm.offsets, cold.offsets)
+    assert np.array_equal(warm.targets, cold.targets)
+    assert np.array_equal(warm.weights, cold.weights)
+
+
+def test_second_build_skips_synthesis(tmp_path, monkeypatch):
+    from repro.graph import generators
+    monkeypatch.setenv("REPRO_DATASET_CACHE", str(tmp_path))
+    calls = []
+    real = generators.kronecker_edges
+    monkeypatch.setattr(generators, "kronecker_edges",
+                        lambda *a, **kw: (calls.append(a), real(*a, **kw))[1])
+    build_graph("kron30", 2.0 ** -16, seed=6)
+    assert len(calls) == 1
+    build_graph("kron30", 2.0 ** -16, seed=6)
+    assert len(calls) == 1  # warm load never touched the generator
+    # A different key misses and synthesizes again.
+    build_graph("kron30", 2.0 ** -16, seed=7)
+    assert len(calls) == 2
+
+
+def test_cache_distinct_keys_distinct_files(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_DATASET_CACHE", str(tmp_path))
+    build_graph("kron30", 2.0 ** -16, seed=1)
+    build_graph("kron30", 2.0 ** -15, seed=1)
+    build_graph("kron30", 2.0 ** -16, seed=2)
+    build_graph("kron28", 2.0 ** -16, seed=1)
+    assert len(list(tmp_path.iterdir())) == 4
+
+
+def test_cache_corrupt_entry_falls_back(tmp_path, monkeypatch):
+    import numpy as np
+    monkeypatch.setenv("REPRO_DATASET_CACHE", str(tmp_path))
+    good = build_graph("kron30", 2.0 ** -16, seed=8)
+    (entry,) = tmp_path.iterdir()
+    entry.write_bytes(b"not an npz file")
+    rebuilt = build_graph("kron30", 2.0 ** -16, seed=8)
+    assert np.array_equal(rebuilt.targets, good.targets)
+
+
+def test_cache_disabled_by_env(tmp_path, monkeypatch):
+    from repro.graph.datasets import dataset_cache_dir
+    monkeypatch.setenv("REPRO_DATASET_CACHE", "off")
+    assert dataset_cache_dir() is None
+    build_graph("kron30", 2.0 ** -16, seed=1)  # must not raise
+    monkeypatch.setenv("REPRO_DATASET_CACHE", str(tmp_path))
+    build_graph("kron30", 2.0 ** -16, seed=1, cache=False)
+    assert list(tmp_path.iterdir()) == []  # cache=False bypasses storage

@@ -1,0 +1,270 @@
+"""Guard rails for simulator performance work.
+
+Wall-clock optimizations (vectorized flash I/O, batched page flushes, numpy
+edge gathers) must never change what the simulator *computes*: neither the
+functional results nor the simulated-time accounting.  Two layers of guards:
+
+* golden-equivalence property tests pit the vectorized hot paths against
+  straightforward scalar reference implementations on randomized patterns;
+* sim-clock invariance tests pin the exact ``elapsed_s``/flash-byte/Fig 14
+  numbers of fixed workloads, so any accounting drift fails loudly.
+
+If a sim-clock golden here changes, the PR is not a pure perf PR — either
+revert the accounting change or update the golden *and* say why in the PR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import backend_for_profile
+from repro.core.external import ExternalSortReducer
+from repro.core.kvstream import KVArray
+from repro.core.reduce_ops import SUM
+from repro.flash.aoffs import AppendOnlyFlashFS
+from repro.flash.device import FlashDevice, FlashGeometry
+from repro.flash.filestore import SSDFileSystem
+from repro.flash.ftl import SSD
+from repro.graph.formats import FlashCSR, coalesce_ranges
+from repro.harness import load_dataset, run_grafboost_system
+from repro.perf.clock import SimClock
+from repro.perf.profiles import GRAFSOFT
+
+# --------------------------------------------------------------------------
+# scalar reference implementations
+# --------------------------------------------------------------------------
+
+
+def reference_coalesce(starts, ends, max_gap):
+    """Straightforward one-range-at-a-time coalescing."""
+    spans = []
+    for s, e in zip(starts, ends):
+        s, e = int(s), int(e)
+        if e <= s:
+            continue
+        if spans and s - spans[-1][1] <= max_gap:
+            spans[-1][1] = max(spans[-1][1], e)
+        else:
+            spans.append([s, e])
+    return [(s, e) for s, e in spans]
+
+
+def reference_gather(data, starts, ends):
+    """One-range-at-a-time gather from the full backing array."""
+    parts = [data[int(s):int(e)] for s, e in zip(starts, ends) if e > s]
+    if not parts:
+        return np.empty(0, dtype=data.dtype)
+    return np.concatenate(parts)
+
+
+def reference_pages(stream: bytes, page_bytes: int) -> list[bytes]:
+    """One-page-at-a-time split of an append stream, tail zero-padded."""
+    pages = []
+    for start in range(0, len(stream), page_bytes):
+        page = stream[start:start + page_bytes]
+        pages.append(page + b"\x00" * (page_bytes - len(page)))
+    return pages
+
+
+def random_ranges(rng, n, domain, max_len):
+    """Sorted-by-start ranges: overlapping, empty, and adjacent mixed in."""
+    starts = np.sort(rng.integers(0, domain, n))
+    lengths = rng.integers(0, max_len, n)
+    lengths[rng.random(n) < 0.2] = 0  # sprinkle empties
+    ends = np.minimum(starts + lengths, domain)
+    return starts.astype(np.int64), ends.astype(np.int64)
+
+
+# --------------------------------------------------------------------------
+# golden equivalence: coalesce_ranges
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_coalesce_matches_reference_random(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(1, 200))
+    starts, ends = random_ranges(rng, n, domain=5000, max_len=60)
+    for gap in (0, 1, 7, 64, 10_000):
+        assert coalesce_ranges(starts, ends, gap) == \
+            reference_coalesce(starts, ends, gap)
+
+
+def test_coalesce_edge_patterns():
+    cases = [
+        ([], []),                          # empty input
+        ([5], [5]),                        # single empty range
+        ([0], [1]),                        # single element
+        ([0, 0, 0], [10, 5, 7]),           # duplicate starts, nested ends
+        ([0, 2, 4], [10, 3, 5]),           # ranges swallowed by a big first
+        ([0, 10], [10, 20]),               # exactly adjacent
+    ]
+    for starts, ends in cases:
+        s, e = np.array(starts, dtype=np.int64), np.array(ends, dtype=np.int64)
+        for gap in (0, 1, 5):
+            assert coalesce_ranges(s, e, gap) == reference_coalesce(s, e, gap)
+
+
+# --------------------------------------------------------------------------
+# golden equivalence: FlashCSR._gather
+# --------------------------------------------------------------------------
+
+
+def _flash_array(values: np.ndarray):
+    clock = SimClock()
+    device = FlashDevice(FlashGeometry(4096, 16, 512), GRAFSOFT, clock)
+    store = SSDFileSystem(SSD(device))
+    store.append_array("g:edges", values)
+    store.seal("g:edges")
+    fcsr = FlashCSR(store, "g", num_vertices=1, num_edges=len(values))
+    return fcsr
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_gather_matches_reference_random(seed):
+    rng = np.random.default_rng(100 + seed)
+    data = rng.integers(0, 1 << 40, 20_000).astype("<u8")
+    fcsr = _flash_array(data)
+    n = int(rng.integers(1, 150))
+    starts, ends = random_ranges(rng, n, domain=len(data), max_len=400)
+    got = fcsr._gather(fcsr.edge_file, data.dtype, starts, ends)
+    assert np.array_equal(got, reference_gather(data, starts, ends))
+    assert got.flags.writeable
+    # wasted_read_bytes is exactly (bytes read in coalesced spans) - (bytes
+    # requested) under the same gap the gather used.
+    gap = max(1, fcsr._latency_gap_bytes() // data.dtype.itemsize)
+    spans = reference_coalesce(starts, ends, gap)
+    span_items = sum(e - s for s, e in spans)
+    requested = int(np.maximum(ends - starts, 0).sum())
+    assert fcsr.wasted_read_bytes == (span_items - requested) * data.dtype.itemsize
+
+
+def test_gather_identity_fast_path_matches_reference():
+    """Adjacent ranges tiling the file exactly (dense superstep shape)."""
+    data = np.arange(4096, dtype="<u8")
+    fcsr = _flash_array(data)
+    bounds = np.array([0, 1000, 1000, 2500, 4096], dtype=np.int64)
+    starts, ends = bounds[:-1], bounds[1:]
+    got = fcsr._gather(fcsr.edge_file, data.dtype, starts, ends)
+    assert np.array_equal(got, reference_gather(data, starts, ends))
+    assert got.flags.writeable
+    assert fcsr.wasted_read_bytes == 0
+
+
+def test_gather_eof_straddling_and_single_page():
+    data = np.arange(1024, dtype="<u8")  # exactly 2 pages of 4096 B
+    fcsr = _flash_array(data)
+    for starts, ends in [
+        (np.array([1020]), np.array([1024])),   # last items of the file
+        (np.array([0]), np.array([3])),         # single-page prefix
+        (np.array([510]), np.array([514])),     # straddles the page boundary
+        (np.array([0, 5]), np.array([0, 5])),   # all empty
+    ]:
+        got = fcsr._gather(fcsr.edge_file, data.dtype,
+                           starts.astype(np.int64), ends.astype(np.int64))
+        assert np.array_equal(got, reference_gather(data, starts, ends))
+
+
+# --------------------------------------------------------------------------
+# golden equivalence: batched page flush (filestore + aoffs)
+# --------------------------------------------------------------------------
+
+
+def _random_append_stream(rng, page_bytes):
+    """Append sizes crossing every interesting boundary: sub-page, page-exact,
+    multi-page, multi-block, and empty."""
+    sizes = []
+    for _ in range(int(rng.integers(5, 25))):
+        kind = rng.integers(0, 5)
+        if kind == 0:
+            sizes.append(0)
+        elif kind == 1:
+            sizes.append(int(rng.integers(1, page_bytes)))
+        elif kind == 2:
+            sizes.append(page_bytes * int(rng.integers(1, 4)))
+        elif kind == 3:
+            sizes.append(page_bytes * int(rng.integers(1, 4)) + int(rng.integers(1, page_bytes)))
+        else:
+            sizes.append(int(rng.integers(1, 6 * page_bytes)))
+    return [bytes(rng.integers(0, 256, s, dtype=np.uint8)) for s in sizes]
+
+
+@pytest.mark.parametrize("fs_kind", ["ssd", "aoffs"])
+@pytest.mark.parametrize("seed", range(4))
+def test_page_flush_matches_reference(fs_kind, seed):
+    rng = np.random.default_rng(200 + seed)
+    geometry = FlashGeometry(page_bytes=4096, pages_per_block=8, num_blocks=128)
+    clock = SimClock()
+    device = FlashDevice(geometry, GRAFSOFT, clock)
+    fs = (SSDFileSystem(SSD(device)) if fs_kind == "ssd"
+          else AppendOnlyFlashFS(device))
+
+    fragments = _random_append_stream(rng, geometry.page_bytes)
+    for frag in fragments:
+        fs.append("f", frag)
+    fs.seal("f")
+    stream = b"".join(fragments)
+
+    # Full and random partial reads round-trip against the reference stream.
+    assert fs.read("f") == stream
+    for _ in range(10):
+        off = int(rng.integers(0, len(stream) + 1))
+        n = int(rng.integers(0, len(stream) - off + 1))
+        assert fs.read("f", off, n) == stream[off:off + n]
+
+    # Exactly the pages the scalar reference would program, with the same
+    # zero-padded tail, landed on the device.
+    ref = reference_pages(stream, geometry.page_bytes)
+    assert device.total_pages_written == len(ref)
+    if fs_kind == "ssd":
+        stored = [device._read_silent(*fs.ssd.ftl.translate(lpn))
+                  for lpn in fs._file("f").lpns]
+    else:
+        f = fs._file("f")
+        ppb = geometry.pages_per_block
+        stored = [device._read_silent(f.blocks[i // ppb], i % ppb)
+                  for i in range(f.flushed_pages)]
+    assert [bytes(p) for p in stored] == ref
+
+
+# --------------------------------------------------------------------------
+# sim-clock invariance: pinned goldens
+# --------------------------------------------------------------------------
+# These exact values were produced by the pre-vectorization scalar simulator
+# and must survive every perf-only PR bit-for-bit.
+
+
+def test_sim_clock_invariance_external_sort_reduce():
+    clock = SimClock()
+    device = FlashDevice(FlashGeometry(8192, 32, 2048), GRAFSOFT, clock)
+    store = SSDFileSystem(SSD(device))
+    backend = backend_for_profile(GRAFSOFT)
+    red = ExternalSortReducer(store, SUM, np.float64, backend,
+                              chunk_bytes=1 << 18, fanout=4)
+    rng = np.random.default_rng(42)
+    for _ in range(40):
+        red.add(KVArray(rng.integers(0, 5000, 20000).astype(np.uint64),
+                        rng.random(20000)))
+    out = red.finish()
+
+    assert red.stats.written_fractions() == [0.29457, 0.07499875, 0.01875, 0.00625]
+    assert clock.elapsed_s == 0.1007425589028993
+    assert clock.bytes_moved("flash") == 10567680
+    result = out.read_all()
+    assert len(result) == 5000
+    assert result.is_strictly_sorted()
+    assert float(result.values.sum()) == pytest.approx(399794.22426748613, abs=1e-6)
+
+
+@pytest.mark.parametrize("system,golden_elapsed,golden_flash", [
+    ("GraFSoft", 0.020262423304451636, 19759104),
+    ("GraFBoost", 0.006711056717236828, 9875456),
+])
+def test_sim_clock_invariance_pagerank(system, golden_elapsed, golden_flash):
+    graph = load_dataset("kron30", scale=1 / 65536, seed=7)
+    result = run_grafboost_system(system, graph, "pagerank", scale=1 / 65536,
+                                  dataset="kron30", pagerank_iterations=2)
+    assert result.elapsed_s == golden_elapsed
+    assert result.flash_bytes == golden_flash
+    assert result.traversed_edges == 521983
