@@ -18,6 +18,8 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.flash.device import FlashError
+from repro.flash.faults import FaultPlan
 from repro.graph.datasets import DATASETS, DEFAULT_SCALE
 from repro.harness import (
     ALGORITHMS,
@@ -52,6 +54,13 @@ def _parse_scale(text: str) -> float:
     return value
 
 
+def _parse_faults(text: str) -> FaultPlan:
+    try:
+        return FaultPlan.parse(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -72,6 +81,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=1)
     run.add_argument("--timeline", action="store_true",
                      help="print the per-superstep breakdown")
+    run.add_argument("--faults", type=_parse_faults, default=None,
+                     metavar="SPEC",
+                     help="seeded fault-injection plan for the flash device, "
+                          "e.g. seed=3,ber=5e-5,pfail=1e-4 (GraFBoost-family "
+                          "systems only)")
 
     compare = sub.add_parser("compare", help="run a figure-style matrix")
     compare.add_argument("--dataset", choices=sorted(DATASETS), default="kron28")
@@ -123,12 +137,22 @@ def cmd_run(args) -> int:
           f"{graph.num_vertices:,} vertices, {graph.num_edges:,} edges")
     if args.timeline and args.system in GRAFBOOST_FAMILY:
         return _run_with_timeline(args, graph)
-    cell = run_cell(args.system, graph, args.algorithm, scale=args.scale,
-                    dataset=args.dataset)
+    if args.faults is not None and args.system not in GRAFBOOST_FAMILY:
+        print(f"--faults only applies to the simulated flash stacks "
+              f"({', '.join(GRAFBOOST_FAMILY)}), not {args.system}",
+              file=sys.stderr)
+        return 2
+    try:
+        cell = run_cell(args.system, graph, args.algorithm, scale=args.scale,
+                        dataset=args.dataset, faults=args.faults)
+    except FlashError as e:
+        print(f"{args.system} {args.algorithm}: aborted on "
+              f"{type(e).__name__}: {e}", file=sys.stderr)
+        return 1
     if not cell.completed:
         print(f"{args.system} {args.algorithm}: DNF — {cell.dnf_reason}")
         return 1
-    print(format_table(["metric", "value"], [
+    rows = [
         ["system", cell.system],
         ["algorithm", cell.algorithm],
         ["simulated time", human_seconds(cell.elapsed_s)],
@@ -137,7 +161,15 @@ def cmd_run(args) -> int:
         ["MTEPS", f"{cell.mteps:.2f}"],
         ["flash traffic", human_bytes(cell.flash_bytes)],
         ["peak memory", human_bytes(cell.memory_bytes)],
-    ]))
+    ]
+    if args.faults is not None:
+        rows += [
+            ["corrected bit errors", f"{cell.corrected_bit_errors:,}"],
+            ["read retries", f"{cell.read_retries:,}"],
+            ["checksum recoveries", f"{cell.checksum_recoveries:,}"],
+            ["retired blocks", f"{cell.retired_blocks:,}"],
+        ]
+    print(format_table(["metric", "value"], rows))
     return 0
 
 

@@ -30,6 +30,7 @@ from repro.core.inmemory import sort_reduce_in_memory
 from repro.core.kvstream import KVArray, record_dtype
 from repro.core.merger import StreamingMergeReducer
 from repro.core.reduce_ops import ReduceOp
+from repro.flash.device import FlashError
 
 _run_counter = itertools.count()
 
@@ -172,6 +173,7 @@ class ExternalSortReducer:
         self._runs: list[RunHandle] = []
         self._run_counter = 0
         self._finished = False
+        self._memory_freed = False
         if memory is not None:
             memory.allocate(self._mem_label, chunk_bytes)
 
@@ -276,8 +278,32 @@ class ExternalSortReducer:
                                   concurrency=1 if final else 4)
             return self._runs[0]
         finally:
-            if self.memory is not None:
-                self.memory.free(self._mem_label)
+            self._free_memory()
+
+    def _free_memory(self) -> None:
+        if self.memory is not None and not self._memory_freed:
+            self._memory_freed = True
+            self.memory.free(self._mem_label)
+
+    def close(self) -> None:
+        """Abandon the sort-reduce: free the DRAM buffer and delete any run
+        files still on flash.
+
+        This is the error-path counterpart of :meth:`finish` — a superstep
+        that dies on a :class:`~repro.flash.device.FlashError` must not leak
+        its chunk buffer or half-merged runs.  Idempotent; calling it after
+        a successful :meth:`finish` would discard the result run.
+        """
+        self._finished = True
+        self._free_memory()
+        runs, self._runs = self._runs, []
+        for run in runs:
+            try:
+                run.delete()
+            except FlashError:
+                pass  # best-effort cleanup on an already-failing device
+        self._buffer.clear()
+        self._buffered_bytes = 0
 
     def _merge_group(self, group: list[RunHandle], concurrency: int = 1) -> None:
         """Stream-merge one group of runs into a single higher-level run."""

@@ -96,8 +96,11 @@ class PartitionedSortReducer:
         self.value_dtype = np.dtype(value_dtype)
         self.key_space = key_space
         # bounds[i] is the first key of partition i; partition i owns
-        # [bounds[i], bounds[i+1]).
-        self.bounds = np.linspace(0, key_space, len(devices) + 1).astype(np.uint64)
+        # [bounds[i], bounds[i+1]).  Integer arithmetic: float64 linspace
+        # loses key precision past 2^53 (hundreds of keys at 2^62).
+        n = len(devices)
+        self.bounds = np.array([key_space * i // n for i in range(n + 1)],
+                               dtype=np.uint64)
         self._clocks = [store.device.clock for store, _backend in devices]
         self._start_elapsed = [clock.elapsed_s for clock in self._clocks]
         self.reducers = [

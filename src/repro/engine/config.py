@@ -101,14 +101,17 @@ def make_system(kind: str, scale_factor: float = 1.0,
                 dram_bytes: int | None = None,
                 flash_capacity: int | None = None,
                 num_vertices_hint: int | None = None,
-                profile: HardwareProfile | None = None) -> SystemConfig:
+                profile: HardwareProfile | None = None,
+                faults=None) -> SystemConfig:
     """Build one of the GraFBoost-family stacks at a given scale.
 
     ``dram_bytes`` overrides the (scaled) DRAM budget — the Fig 13 memory
     sweep.  ``flash_capacity`` overrides device size; by default the scaled
     profile capacity is multiplied by 6 to absorb block-granular allocation
     slack of many coexisting run files.  ``num_vertices_hint`` sizes the
-    accelerator's key packing (Fig 7).
+    accelerator's key packing (Fig 7).  ``faults`` is an optional
+    :class:`~repro.flash.faults.FaultPlan` turning the run into a seeded
+    chaos test.
     """
     if profile is None:
         try:
@@ -137,11 +140,13 @@ def make_system(kind: str, scale_factor: float = 1.0,
             packing = PackingSpec(key_bits=34, value_bits=32)
         backend = AcceleratorBackend(scaled, packing)
         device = FlashDevice(scaled_geometry(capacity), scaled, clock,
-                             traffic_scale=backend.traffic_scale())
+                             traffic_scale=backend.traffic_scale(),
+                             faults=faults)
         store = AppendOnlyFlashFS(device)
     else:
         backend = SoftwareBackend(scaled)
-        device = FlashDevice(scaled_geometry(capacity), scaled, clock)
+        device = FlashDevice(scaled_geometry(capacity), scaled, clock,
+                             faults=faults)
         store = SSDFileSystem(SSD(device, ftl_overhead_s=scaled.ftl_overhead_s))
 
     chunk = int(PAPER_CHUNK_BYTES * scale_factor)

@@ -10,6 +10,7 @@ import numpy as np
 
 from repro.core.external import SortReduceStats
 from repro.engine.api import VertexProgram
+from repro.flash.device import FlashError
 from repro.engine.superstep import SuperstepExecutor
 from repro.graph.formats import FlashCSR
 from repro.graph.vertexdata import VertexArray
@@ -123,7 +124,11 @@ class GraFBoostEngine:
         while superstep < limit:
             checkpoint = self.clock.checkpoint()
             flash_bytes_start = self.clock.bytes_moved("flash")
-            outcome = executor.run(prev_chunks, superstep)
+            try:
+                outcome = executor.run(prev_chunks, superstep)
+            except FlashError as e:
+                e.add_note(f"while running {program.name} superstep {superstep}")
+                raise
             if prev_run is not None:
                 prev_run.delete()
             prev_run = outcome.new_run

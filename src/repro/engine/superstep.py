@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.core.external import ExternalSortReducer, RunHandle, SortReduceStats
 from repro.core.kvstream import KVArray
+from repro.flash.device import FlashError
 from repro.engine.api import VertexProgram
 from repro.graph.formats import FlashCSR
 from repro.graph.vertexdata import VertexArray
@@ -71,25 +72,31 @@ class SuperstepExecutor:
         """Algorithm 3: finalize + activate + stage + push in one pass."""
         program = self.program
         reducer = self._make_reducer(superstep)
-        cursor = self.vertices.cursor()
-        overlay = self.vertices.overlay_writer(superstep)
-        activated = 0
-        traversed = 0
-        for chunk in prev_newv:
-            if len(chunk) == 0:
-                continue
-            old_values, old_steps = cursor.lookup(chunk.keys)
-            finalized = program.finalize(chunk.values, old_values)
-            mask = program.is_active(finalized, old_values, old_steps, superstep)
-            active_keys = chunk.keys[mask]
-            active_values = np.asarray(finalized)[mask]
-            if len(active_keys) == 0:
-                continue
-            overlay.add(KVArray(active_keys, active_values))
-            activated += len(active_keys)
-            traversed += self._push_edges(reducer, active_keys, active_values)
-        overlay.close()
-        new_run = reducer.finish()
+        try:
+            cursor = self.vertices.cursor()
+            overlay = self.vertices.overlay_writer(superstep)
+            activated = 0
+            traversed = 0
+            for chunk in prev_newv:
+                if len(chunk) == 0:
+                    continue
+                old_values, old_steps = cursor.lookup(chunk.keys)
+                finalized = program.finalize(chunk.values, old_values)
+                mask = program.is_active(finalized, old_values, old_steps, superstep)
+                active_keys = chunk.keys[mask]
+                active_values = np.asarray(finalized)[mask]
+                if len(active_keys) == 0:
+                    continue
+                overlay.add(KVArray(active_keys, active_values))
+                activated += len(active_keys)
+                traversed += self._push_edges(reducer, active_keys, active_values)
+            overlay.close()
+            new_run = reducer.finish()
+        except FlashError:
+            # The device failed mid-superstep: release the reducer's DRAM
+            # buffer and run files, then let the typed error propagate.
+            reducer.close()
+            raise
         return SuperstepOutcome(
             new_run=new_run,
             sort_stats=reducer.stats,
@@ -129,20 +136,24 @@ class SuperstepExecutor:
         overlay.close()
 
         reducer = self._make_reducer(superstep)
-        activated = active_records
-        traversed = 0
-        if active_records:
-            self.store.seal(active_file)
-            item = rec_dtype.itemsize
-            per_chunk = max(1, (1 << 22) // item)
-            for start in range(0, active_records, per_chunk):
-                n = min(per_chunk, active_records - start)
-                raw = self.store.read(active_file, start * item, n * item)  # extra I/O #2
-                records = np.frombuffer(raw, dtype=rec_dtype)
-                traversed += self._push_edges(reducer, records["k"].copy(),
-                                              records["v"].copy())
-            self.store.delete(active_file)
-        new_run = reducer.finish()
+        try:
+            activated = active_records
+            traversed = 0
+            if active_records:
+                self.store.seal(active_file)
+                item = rec_dtype.itemsize
+                per_chunk = max(1, (1 << 22) // item)
+                for start in range(0, active_records, per_chunk):
+                    n = min(per_chunk, active_records - start)
+                    raw = self.store.read(active_file, start * item, n * item)  # extra I/O #2
+                    records = np.frombuffer(raw, dtype=rec_dtype)
+                    traversed += self._push_edges(reducer, records["k"].copy(),
+                                                  records["v"].copy())
+                self.store.delete(active_file)
+            new_run = reducer.finish()
+        except FlashError:
+            reducer.close()
+            raise
         return SuperstepOutcome(
             new_run=new_run,
             sort_stats=reducer.stats,

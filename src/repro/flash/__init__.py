@@ -13,9 +13,22 @@ Translation Layer (§IV).  This package builds that stack in simulation:
 * :class:`AppendOnlyFlashFS` — the paper's AOFFS (§IV-A): host-managed
   logical-to-physical mapping where files only ever grow by appending, which
   is all sort-reduce needs and removes FTL latency overhead.
+* :class:`FaultPlan` / :class:`FaultInjector` — deterministic seeded fault
+  injection with an ECC/read-retry recovery model, plus the ``FlashError``
+  exception taxonomy every layer above reacts to.
 """
 
-from repro.flash.device import FlashDevice, FlashGeometry, FlashError
+from repro.flash.device import (
+    FlashDevice,
+    FlashEraseError,
+    FlashError,
+    FlashGeometry,
+    FlashProgramError,
+    FlashTransientError,
+    FlashUncorrectableError,
+    FlashWearOutError,
+)
+from repro.flash.faults import FaultInjector, FaultPlan, FaultStats
 from repro.flash.ftl import PageMappedFTL, SSD
 from repro.flash.aoffs import AppendOnlyFlashFS, FlashFile
 from repro.flash.filestore import SSDFileSystem
@@ -25,6 +38,14 @@ __all__ = [
     "FlashDevice",
     "FlashGeometry",
     "FlashError",
+    "FlashTransientError",
+    "FlashUncorrectableError",
+    "FlashProgramError",
+    "FlashEraseError",
+    "FlashWearOutError",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultStats",
     "PageMappedFTL",
     "SSD",
     "AppendOnlyFlashFS",

@@ -28,7 +28,14 @@ import heapq
 
 import numpy as np
 
-from repro.flash.device import FlashDevice, FlashError
+from repro.flash.device import (
+    FlashDevice,
+    FlashEraseError,
+    FlashError,
+    FlashProgramError,
+    FlashWearOutError,
+)
+from repro.flash.faults import page_crc, verify_pages
 
 
 class FlashFile:
@@ -45,6 +52,9 @@ class FlashFile:
         self.tail_len = 0
         self.flushed_pages = 0     # pages already programmed to flash
         self.sealed = False
+        # Per-flushed-page CRC-32, recorded only under fault injection: the
+        # end-to-end integrity check that catches ECC miscorrections.
+        self.page_crcs: list[int] = []
 
     def tail_bytes(self) -> bytes:
         """The unflushed tail as one bytes object (consolidates in place)."""
@@ -184,7 +194,7 @@ class AppendOnlyFlashFS:
             (block, page, view[start:start + page_bytes])
             for block, page, start in zip(blocks, pages, range(0, flush_bytes, page_bytes))
         ]
-        self.device.write_pages(writes)
+        self._program_pages(f, writes)
         remainder = blob[flush_bytes:]
         f.tail_parts = [remainder] if remainder else []
         f.tail_len -= flush_bytes
@@ -199,11 +209,59 @@ class AppendOnlyFlashFS:
             tail = f.tail_bytes()
             padded = tail + b"\x00" * (self.geometry.page_bytes - len(tail))
             block, page = self._physical_addr(f, f.flushed_pages, allocate=True)
-            self.device.write_page(block, page, padded)
+            self._program_pages(f, [(block, page, padded)])
             f.tail_parts = []
             f.tail_len = 0
             f.flushed_pages += 1
         f.sealed = True
+
+    def _program_pages(self, f: FlashFile, writes: list[tuple[int, int, bytes]]) -> None:
+        """Program pages, surviving program failures by block remapping.
+
+        A failed program retires the block; the pages it already holds are
+        copied to a fresh block which takes over the retired block's slot in
+        ``f.blocks`` (file addressing never changes), and the remaining
+        writes retarget it.  Single-page lists use the scalar device call so
+        the charged time is identical to the historical per-page path.
+        """
+        pending = writes
+        while True:
+            try:
+                if len(pending) == 1:
+                    self.device.write_page(*pending[0])
+                else:
+                    self.device.write_pages(pending)
+                break
+            except FlashProgramError as e:
+                committed = getattr(e, "batch_committed", 0)
+                bad = e.block
+                fresh = self._remap_bad_block(f, bad)
+                pending = [(fresh if b == bad else b, p, d)
+                           for b, p, d in pending[committed:]]
+        if self.device.faults is not None:
+            f.page_crcs.extend(page_crc(d) for _b, _p, d in writes)
+
+    def _remap_bad_block(self, f: FlashFile, bad: int) -> int:
+        """Copy a retired block's programmed pages onto a fresh block and
+        swap it into the file's block list."""
+        count = self.device.programmed_pages(bad)
+        while True:
+            if not self._free_blocks:
+                raise FlashWearOutError(
+                    f"no spare block left to remap retired block {bad} "
+                    f"of AOFFS file {f.name!r}")
+            fresh = self._allocate_block()
+            try:
+                if count:
+                    pages = self.device.read_pages(
+                        [(bad, p) for p in range(count)])
+                    self.device.write_pages(
+                        [(fresh, p, d) for p, d in enumerate(pages)])
+                break
+            except FlashProgramError:
+                continue  # the replacement died too; try another spare
+        f.blocks[f.blocks.index(bad)] = fresh
+        return fresh
 
     def _physical_addr(self, f: FlashFile, page_index: int, allocate: bool = False) -> tuple[int, int]:
         pages_per_block = self.geometry.pages_per_block
@@ -251,6 +309,11 @@ class AppendOnlyFlashFS:
             else:
                 addresses = [self._physical_addr(f, i) for i in range(first_page, last_page + 1)]
             pages = self.device.read_pages(addresses)
+            if self.device.faults is not None:
+                pages = verify_pages(
+                    pages, f.page_crcs, first_page,
+                    lambda i: self.device.read_page(*self._physical_addr(f, i)),
+                    self.device.faults, f"aoffs:{f.name}")
             self._charge_prefetch(f, first_page, len(addresses))
             blob = b"".join(pages)
             start = offset - first_page * page_bytes
@@ -298,8 +361,11 @@ class AppendOnlyFlashFS:
         """
         f = self._file(name)
         for block in f.blocks:
-            if not self.device.block_is_erased(block):
-                self.device.erase_block(block, background=True)
+            try:
+                if not self.device.block_is_erased(block):
+                    self.device.erase_block(block, background=True)
+            except FlashEraseError:
+                continue  # block retired: it never rejoins the free pool
             self._release_block(block)
         del self._files[name]
 

@@ -33,7 +33,57 @@ PAGE_INVALID = 2  # written, then superseded; space reclaimable by erase
 
 
 class FlashError(RuntimeError):
-    """A physical-constraint violation (write to un-erased page, etc.)."""
+    """Base of the flash error taxonomy.
+
+    Raised directly for logic errors against the device's state machine
+    (write to un-erased page, read of erased/invalidated page, bad address).
+    Physical failures raise the typed subclasses below so every layer above
+    — FTL, AOFFS, file stores, sort-reduce, engine — can react precisely:
+
+    * :class:`FlashTransientError` — one read attempt failed recoverably;
+      internal retry machinery (ECC read-retry, checksum re-reads) catches
+      it, so callers only observe it when retries are disabled.
+    * :class:`FlashUncorrectableError` — data loss: bit errors exceeded ECC
+      strength after every read-retry, or a checksum mismatch persisted.
+    * :class:`FlashProgramError` — a page program reported failure; the
+      device retires the block, the owning layer must remap.
+    * :class:`FlashEraseError` — an erase reported failure (including
+      endurance-limit failures); also retires the block.
+    * :class:`FlashWearOutError` — the device can no longer provide spare
+      capacity (spare pool exhausted / no free block to remap onto).
+    """
+
+
+class FlashTransientError(FlashError):
+    """A single read attempt failed but is retryable."""
+
+
+class FlashUncorrectableError(FlashError):
+    """Data is lost: ECC plus every read-retry (or checksum re-read) failed."""
+
+    def __init__(self, message: str, block: int | None = None,
+                 page: int | None = None):
+        super().__init__(message)
+        self.block = block
+        self.page = page
+
+
+class FlashProgramError(FlashError):
+    """A page program failed; the containing block has been retired."""
+
+    def __init__(self, message: str, block: int | None = None,
+                 page: int | None = None):
+        super().__init__(message)
+        self.block = block
+        self.page = page
+
+
+class FlashEraseError(FlashProgramError):
+    """A block erase failed; the block has been retired."""
+
+
+class FlashWearOutError(FlashError):
+    """No spare capacity remains to remap around failed blocks."""
 
 
 @dataclass(frozen=True)
@@ -91,19 +141,31 @@ class FlashDevice:
     """
 
     def __init__(self, geometry: FlashGeometry, profile: HardwareProfile, clock: SimClock,
-                 traffic_scale: float = 1.0):
+                 traffic_scale: float = 1.0, faults=None):
         """``traffic_scale`` discounts charged transfer volume for devices
         whose datapath stores records densely bit-packed (Fig 7): GraFBoost
         packs key-value pairs into 256-bit words, so each aligned byte the
         functional layer moves costs only ``traffic_scale`` bytes of
-        physical flash traffic."""
+        physical flash traffic.
+
+        ``faults`` is an optional :class:`~repro.flash.faults.FaultPlan`;
+        when given, every read/program/erase runs through the plan's
+        seeded :class:`~repro.flash.faults.FaultInjector` (ECC, read-retry,
+        program/erase failures, latency jitter).  ``None`` — and a plan with
+        all rates zero — leave the device's behaviour and timing untouched.
+        """
         if not 0 < traffic_scale <= 1:
             raise ValueError(f"traffic_scale must be in (0, 1], got {traffic_scale}")
         self.geometry = geometry
         self.profile = profile
         self.clock = clock
         self.traffic_scale = traffic_scale
+        if faults is not None and not hasattr(faults, "filter_read"):
+            from repro.flash.faults import FaultInjector  # avoid import cycle
+            faults = FaultInjector(faults, self)
+        self.faults = faults
         n = geometry.num_blocks
+        self._bad_blocks: set[int] = set()
         self._data: dict[tuple[int, int], bytes] = {}
         # Page states live in one int8 matrix so batched writes/reads can
         # validate and update whole program-order runs with array slices.
@@ -115,6 +177,12 @@ class FlashDevice:
         self.total_blocks_erased = 0
 
     # ------------------------------------------------------------------ checks
+
+    def _retire(self, block: int) -> None:
+        if block not in self._bad_blocks:
+            self._bad_blocks.add(block)
+            if self.faults is not None:
+                self.faults.stats.blocks_retired += 1
 
     def _check_block(self, block: int) -> None:
         if not 0 <= block < self.geometry.num_blocks:
@@ -140,12 +208,13 @@ class FlashDevice:
         of the bandwidth."""
         data = self._read_silent(block, page)
         nbytes = int(len(data) * self.traffic_scale)
-        self.clock.charge(
-            "flash",
-            self.profile.flash_read_latency_s + nbytes / self._channel_read_bw,
-            nbytes=nbytes,
-        )
+        seconds = self.profile.flash_read_latency_s + nbytes / self._channel_read_bw
+        if self.faults is not None:
+            seconds += self.faults.jitter_s(self.profile.flash_read_latency_s)
+        self.clock.charge("flash", seconds, nbytes=nbytes)
         self.total_pages_read += 1
+        if self.faults is not None:
+            data = self.faults.filter_read(block, page, data)
         return data
 
     def read_pages(self, addresses: list[tuple[int, int]]) -> list[bytes]:
@@ -169,22 +238,25 @@ class FlashDevice:
                 self._check_page(block, page0)
                 self._check_page(block, p)
                 states = self._page_state[block, page0:p + 1]
-                if (states == PAGE_ERASED).any():
-                    bad = page0 + int(np.flatnonzero(states == PAGE_ERASED)[0])
-                    raise FlashError(f"read of erased page ({block}, {bad})")
+                if (states == PAGE_VALID).sum() != len(states):
+                    offset = int(np.flatnonzero(states != PAGE_VALID)[0])
+                    kind = ("erased" if states[offset] == PAGE_ERASED
+                            else "invalidated")
+                    raise FlashError(
+                        f"read of {kind} page ({block}, {page0 + offset})")
                 out.extend(data[(block, q)] for q in range(page0, p + 1))
             i = j
         nbytes = int(sum(len(d) for d in out) * self.traffic_scale)
         transfer = self._striped_seconds(
             ((b, len(d)) for (b, _p), d in zip(addresses, out)),
             self._channel_read_bw)
-        self.clock.charge(
-            "flash",
-            self.profile.flash_read_latency_s + transfer,
-            nbytes=nbytes,
-            ops=len(addresses),
-        )
+        seconds = self.profile.flash_read_latency_s + transfer
+        if self.faults is not None:
+            seconds += self.faults.jitter_s(self.profile.flash_read_latency_s)
+        self.clock.charge("flash", seconds, nbytes=nbytes, ops=len(addresses))
         self.total_pages_read += len(addresses)
+        if self.faults is not None:
+            out = self.faults.filter_read_batch(addresses, out)
         return out
 
     def _striped_seconds(self, block_sizes, channel_bw: float) -> float:
@@ -202,23 +274,30 @@ class FlashDevice:
     def _read_silent(self, block: int, page: int) -> bytes:
         self._check_page(block, page)
         state = self._page_state[block, page]
-        if state == PAGE_ERASED:
-            # Reading an erased page returns all-ones in real NAND; engines
-            # must not depend on it, so treat it as a logic error.
-            raise FlashError(f"read of erased page ({block}, {page})")
+        if state != PAGE_VALID:
+            # Reading an erased page returns all-ones in real NAND, and an
+            # invalidated page's contents are host/FTL garbage; engines must
+            # not depend on either, so both are logic errors (never a bare
+            # KeyError out of the backing dict).
+            kind = "erased" if state == PAGE_ERASED else "invalidated"
+            raise FlashError(f"read of {kind} page ({block}, {page})")
         return self._data[(block, page)]
 
     # ------------------------------------------------------------------ writes
 
     def write_page(self, block: int, page: int, data: bytes) -> None:
         """Program one page; enforces erase-before-write and program order."""
-        self._write_silent(block, page, data)
+        try:
+            self._write_silent(block, page, data)
+        except FlashProgramError:
+            # A failed program is only discovered after tProg elapses.
+            self.clock.charge("flash", self.profile.flash_write_latency_s)
+            raise
         nbytes = int(len(data) * self.traffic_scale)
-        self.clock.charge(
-            "flash",
-            self.profile.flash_write_latency_s + nbytes / self._channel_write_bw,
-            nbytes=nbytes,
-        )
+        seconds = self.profile.flash_write_latency_s + nbytes / self._channel_write_bw
+        if self.faults is not None:
+            seconds += self.faults.jitter_s(self.profile.flash_write_latency_s)
+        self.clock.charge("flash", seconds, nbytes=nbytes)
 
     def write_pages(self, writes: list[tuple[int, int, bytes]]) -> None:
         """Batched sequential program: one latency for the batch."""
@@ -227,27 +306,41 @@ class FlashDevice:
         # Group into program-order runs; each run is validated and committed
         # with one array-slice state update instead of per-page bookkeeping.
         i, n = 0, len(writes)
-        while i < n:
-            block, page0, _ = writes[i]
-            j, p = i + 1, page0
-            while j < n and writes[j][0] == block and writes[j][1] == p + 1:
-                p += 1
-                j += 1
-            if j - i == 1:
-                self._write_silent(block, page0, writes[i][2])
-            else:
-                self._program_run(block, page0, writes[i:j])
-            i = j
+        done = 0
+        try:
+            while i < n:
+                block, page0, _ = writes[i]
+                j, p = i + 1, page0
+                while j < n and writes[j][0] == block and writes[j][1] == p + 1:
+                    p += 1
+                    j += 1
+                if j - i == 1:
+                    self._write_silent(block, page0, writes[i][2])
+                else:
+                    self._program_run(block, page0, writes[i:j])
+                i = j
+                done = j
+        except FlashProgramError as e:
+            # Charge the pages that really landed plus tProg of the failure;
+            # callers resume from ``batch_committed`` after remapping.
+            e.batch_committed = done + getattr(e, "committed", 0)
+            committed = writes[:e.batch_committed]
+            nbytes = int(sum(len(d) for _, _, d in committed) * self.traffic_scale)
+            transfer = self._striped_seconds(
+                ((b, len(d)) for b, _page, d in committed),
+                self._channel_write_bw)
+            self.clock.charge(
+                "flash", self.profile.flash_write_latency_s + transfer,
+                nbytes=nbytes, ops=max(1, len(committed)))
+            raise
         nbytes = int(sum(len(d) for _, _, d in writes) * self.traffic_scale)
         transfer = self._striped_seconds(
             ((block, len(d)) for block, _page, d in writes),
             self._channel_write_bw)
-        self.clock.charge(
-            "flash",
-            self.profile.flash_write_latency_s + transfer,
-            nbytes=nbytes,
-            ops=len(writes),
-        )
+        seconds = self.profile.flash_write_latency_s + transfer
+        if self.faults is not None:
+            seconds += self.faults.jitter_s(self.profile.flash_write_latency_s)
+        self.clock.charge("flash", seconds, nbytes=nbytes, ops=len(writes))
 
     def _program_run(self, block: int, page0: int, run: list[tuple[int, int, bytes]]) -> None:
         """Program a contiguous in-order run of pages within one block.
@@ -260,6 +353,9 @@ class FlashDevice:
         last = page0 + count - 1
         self._check_page(block, page0)
         self._check_page(block, last)
+        if block in self._bad_blocks:
+            raise FlashProgramError(
+                f"program to retired bad block {block}", block=block, page=page0)
         page_bytes = self.geometry.page_bytes
         if any(len(d) > page_bytes for _, _, d in run):
             oversize = next(len(d) for _, _, d in run if len(d) > page_bytes)
@@ -273,6 +369,22 @@ class FlashDevice:
         if states.any():  # PAGE_ERASED == 0
             bad = page0 + int(np.flatnonzero(states)[0])
             raise FlashError(f"write to un-erased page ({block}, {bad})")
+        failed = (self.faults.first_program_failure(block, page0, count)
+                  if self.faults is not None else None)
+        if failed is not None:
+            # Pages before the failure landed; the block is retired at the
+            # first program-status failure (the controller policy).
+            if failed:
+                self._data.update(((block, p), d) for _, p, d in run[:failed])
+                self._page_state[block, page0:page0 + failed] = PAGE_VALID
+                self.total_pages_written += failed
+            self._next_program_page[block] = page0 + failed
+            self._retire(block)
+            error = FlashProgramError(
+                f"program failure at ({block}, {page0 + failed}); block retired",
+                block=block, page=page0 + failed)
+            error.committed = failed
+            raise error
         self._data.update(((block, p), d) for _, p, d in run)
         self._page_state[block, page0:last + 1] = PAGE_VALID
         self._next_program_page[block] = last + 1
@@ -280,6 +392,9 @@ class FlashDevice:
 
     def _write_silent(self, block: int, page: int, data: bytes) -> None:
         self._check_page(block, page)
+        if block in self._bad_blocks:
+            raise FlashProgramError(
+                f"program to retired bad block {block}", block=block, page=page)
         if len(data) > self.geometry.page_bytes:
             raise FlashError(f"write of {len(data)} B exceeds page size {self.geometry.page_bytes}")
         if self._page_state[block, page] != PAGE_ERASED:
@@ -289,6 +404,12 @@ class FlashDevice:
                 f"out-of-order program of page {page} in block {block}; "
                 f"next programmable page is {self._next_program_page[block]}"
             )
+        if self.faults is not None and \
+                self.faults.first_program_failure(block, page, 1) is not None:
+            self._retire(block)
+            raise FlashProgramError(
+                f"program failure at ({block}, {page}); block retired",
+                block=block, page=page)
         self._data[(block, page)] = data
         self._page_state[block, page] = PAGE_VALID
         self._next_program_page[block] = page + 1
@@ -315,16 +436,37 @@ class FlashDevice:
         erases inside an FTL stay foreground — they really do block writes.
         """
         self._check_block(block)
+        if block in self._bad_blocks:
+            raise FlashEraseError(f"erase of retired bad block {block}", block=block)
+        if self.faults is not None:
+            reason = self.faults.erase_fails(block)
+            if reason is not None:
+                # The failed erase still cycles (and stresses) the cells
+                # before status comes back; data in the block stays readable.
+                self.erase_counts[block] += 1
+                self._retire(block)
+                if background:
+                    self.clock.charge_background("flash", self.profile.flash_erase_latency_s)
+                else:
+                    self.clock.charge("flash", self.profile.flash_erase_latency_s)
+                detail = ("endurance limit reached" if reason == "wear"
+                          else "erase-status failure")
+                raise FlashEraseError(
+                    f"erase failure on block {block} ({detail}); block retired",
+                    block=block)
         self._page_state[block, :] = PAGE_ERASED
         for page in range(self.geometry.pages_per_block):
             self._data.pop((block, page), None)
         self._next_program_page[block] = 0
         self.erase_counts[block] += 1
         self.total_blocks_erased += 1
+        seconds = self.profile.flash_erase_latency_s
+        if self.faults is not None:
+            seconds += self.faults.jitter_s(self.profile.flash_erase_latency_s)
         if background:
-            self.clock.charge_background("flash", self.profile.flash_erase_latency_s)
+            self.clock.charge_background("flash", seconds)
         else:
-            self.clock.charge("flash", self.profile.flash_erase_latency_s)
+            self.clock.charge("flash", seconds)
 
     # ------------------------------------------------------------------- state
 
@@ -339,3 +481,21 @@ class FlashDevice:
     def block_is_erased(self, block: int) -> bool:
         self._check_block(block)
         return not self._page_state[block].any()  # PAGE_ERASED == 0
+
+    def programmed_pages(self, block: int) -> int:
+        """Pages of ``block`` already programmed (valid or invalidated)."""
+        self._check_block(block)
+        return self._next_program_page[block]
+
+    def is_bad(self, block: int) -> bool:
+        self._check_block(block)
+        return block in self._bad_blocks
+
+    def mark_bad(self, block: int) -> None:
+        """Retire a block administratively (host-side grown-defect list)."""
+        self._check_block(block)
+        self._bad_blocks.add(block)
+
+    @property
+    def bad_block_count(self) -> int:
+        return len(self._bad_blocks)

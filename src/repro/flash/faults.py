@@ -1,0 +1,419 @@
+"""Deterministic fault injection and ECC/read-retry recovery (§II-B).
+
+Real NAND is not the reliable byte store the rest of the stack pretends it
+is: cells suffer read-disturb and retention bit errors, programs and erases
+fail outright, and every program/erase cycle makes all of it worse.
+Controllers hide the physics behind per-page ECC, read-retry voltage
+escalation, and bad-block remapping — machinery the paper's raw-flash design
+(and any commodity SSD under the baselines) depends on being present.
+
+This module makes that machinery explicit and *deterministic*:
+
+* :class:`FaultPlan` — a seeded, declarative description of how unreliable
+  the simulated device should be: per-read raw bit-error rate (BER),
+  program/erase failure probabilities, latency jitter, and optional
+  wear-acceleration that scales all of it with each block's erase count.
+* :class:`FaultInjector` — the per-device runtime built from a plan.  It
+  draws from one seeded generator in operation order, so the same plan on
+  the same workload injects byte-for-byte the same faults — a chaos test is
+  just another reproducible benchmark.
+* The **ECC model**: each page read draws its raw bit-error count from
+  ``Binomial(page_bits, BER)``.  Up to ``ecc_correctable_bits`` errors are
+  corrected inline (real controllers run BCH/LDPC in the datapath, so a
+  corrected read costs nothing extra).  Beyond that the controller
+  *read-retries* with tuned reference voltages: every retry re-reads the
+  page — charging a full access latency plus the page transfer to the
+  :class:`~repro.perf.clock.SimClock` — at ``retry_ber_scale`` times the
+  previous BER.  A page that stays uncorrectable after
+  ``read_retry_limit`` retries raises
+  :class:`~repro.flash.device.FlashUncorrectableError` (or, with
+  ``silent_corruption_p``, escapes as corrupted data for the file-store
+  checksum layer to catch).
+
+A plan with every rate at zero is free: no generator draws, no extra
+charges, bit-identical sim-clock accounting — the invariance goldens pin
+this.
+
+The exception taxonomy itself lives in :mod:`repro.flash.device` (the layer
+that raises it) and is re-exported here for convenience.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.flash.device import (
+    FlashError,
+    FlashEraseError,
+    FlashProgramError,
+    FlashTransientError,
+    FlashUncorrectableError,
+    FlashWearOutError,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "FaultStats",
+    "verify_pages",
+    "FlashError",
+    "FlashTransientError",
+    "FlashUncorrectableError",
+    "FlashProgramError",
+    "FlashEraseError",
+    "FlashWearOutError",
+]
+
+
+#: CLI spec keys (``--faults seed=3,ber=5e-5``) mapped to field name + type.
+_SPEC_KEYS: dict[str, tuple[str, type]] = {
+    "seed": ("seed", int),
+    "ber": ("read_ber", float),
+    "pfail": ("program_fail_p", float),
+    "efail": ("erase_fail_p", float),
+    "jitter": ("latency_jitter", float),
+    "wear_ber": ("wear_ber_scale", float),
+    "wear_fail": ("wear_fail_scale", float),
+    "pe_limit": ("pe_cycle_limit", int),
+    "ecc": ("ecc_correctable_bits", int),
+    "retries": ("read_retry_limit", int),
+    "retry_scale": ("retry_ber_scale", float),
+    "silent": ("silent_corruption_p", float),
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded, declarative fault model for one simulated device.
+
+    All probabilities are per-operation; a plan with every rate at zero
+    injects nothing and perturbs nothing (including the sim clock).
+    """
+
+    seed: int = 0
+    #: Raw bit-error rate per stored bit on every page read.
+    read_ber: float = 0.0
+    #: Probability any single page program fails (block is then retired).
+    program_fail_p: float = 0.0
+    #: Probability a block erase fails (block is then retired).
+    erase_fail_p: float = 0.0
+    #: Uniform extra latency per device op, as a fraction of the op latency.
+    latency_jitter: float = 0.0
+    #: Wear acceleration: effective BER = read_ber * (1 + scale * erases).
+    wear_ber_scale: float = 0.0
+    #: Same acceleration applied to program/erase failure probabilities.
+    wear_fail_scale: float = 0.0
+    #: Endurance limit: erases of a block at/beyond this count always fail
+    #: (0 disables the limit).
+    pe_cycle_limit: int = 0
+    #: ECC strength: bit errors per page correctable without a retry.
+    ecc_correctable_bits: int = 8
+    #: Read-retry escalation budget once ECC is exceeded.
+    read_retry_limit: int = 4
+    #: Each retry re-reads at this multiple of the previous BER (tuned read
+    #: voltages recover most of the signal; 1.0 models a device whose
+    #: retries never help).
+    retry_ber_scale: float = 0.25
+    #: Probability an uncorrectable read escapes as silently corrupted data
+    #: (ECC miscorrection) instead of an error — the case the file-store
+    #: checksums exist to catch.
+    silent_corruption_p: float = 0.0
+
+    def __post_init__(self) -> None:
+        for field in ("read_ber", "program_fail_p", "erase_fail_p",
+                      "silent_corruption_p"):
+            value = getattr(self, field)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{field} must be in [0, 1], got {value}")
+        for field in ("latency_jitter", "wear_ber_scale", "wear_fail_scale",
+                      "retry_ber_scale"):
+            if getattr(self, field) < 0:
+                raise ValueError(f"{field} must be >= 0")
+        for field in ("pe_cycle_limit", "ecc_correctable_bits",
+                      "read_retry_limit"):
+            if getattr(self, field) < 0:
+                raise ValueError(f"{field} must be >= 0")
+
+    @property
+    def injects_read_faults(self) -> bool:
+        return self.read_ber > 0.0
+
+    @staticmethod
+    def parse(spec: str) -> "FaultPlan":
+        """Build a plan from a ``key=value,key=value`` CLI spec.
+
+        Keys are the short names of :data:`_SPEC_KEYS` (``seed``, ``ber``,
+        ``pfail``, ``efail``, ``jitter``, ``wear_ber``, ``wear_fail``,
+        ``pe_limit``, ``ecc``, ``retries``, ``retry_scale``, ``silent``) or
+        full field names.
+
+        >>> FaultPlan.parse("seed=3,ber=5e-5").read_ber
+        5e-05
+        """
+        field_names = {f.name for f in dataclasses.fields(FaultPlan)}
+        kwargs: dict[str, object] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(f"fault spec entry {part!r} is not key=value")
+            key, _, raw = part.partition("=")
+            key = key.strip()
+            if key in _SPEC_KEYS:
+                field, cast = _SPEC_KEYS[key]
+            elif key in field_names:
+                field = key
+                cast = int if key in ("seed", "pe_cycle_limit",
+                                      "ecc_correctable_bits",
+                                      "read_retry_limit") else float
+            else:
+                known = ", ".join(sorted(_SPEC_KEYS))
+                raise ValueError(f"unknown fault spec key {key!r}; known: {known}")
+            try:
+                kwargs[field] = cast(float(raw)) if cast is int else cast(raw)
+            except ValueError as exc:
+                raise ValueError(f"bad value {raw!r} for fault key {key!r}") from exc
+        return FaultPlan(**kwargs)
+
+
+@dataclass
+class FaultStats:
+    """Observable outcome counters of one device's fault injector."""
+
+    bit_errors_injected: int = 0
+    bits_corrected: int = 0
+    pages_corrected: int = 0
+    read_retries: int = 0
+    retry_recoveries: int = 0
+    uncorrectable_reads: int = 0
+    silent_corruptions: int = 0
+    checksum_mismatches: int = 0
+    checksum_recoveries: int = 0
+    program_failures: int = 0
+    erase_failures: int = 0
+    blocks_retired: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dataclasses.asdict(self)
+
+    @property
+    def corrected_errors(self) -> int:
+        """Bit errors the device absorbed without the host noticing."""
+        return self.bits_corrected
+
+
+class FaultInjector:
+    """Runtime fault state for one :class:`~repro.flash.device.FlashDevice`.
+
+    All randomness flows through one seeded generator consumed in operation
+    order, so a fixed (plan, workload) pair replays identically.  Zero-rate
+    paths never touch the generator, which keeps a zero plan bit-identical
+    to no plan at all.
+    """
+
+    def __init__(self, plan: FaultPlan, device) -> None:
+        self.plan = plan
+        self.device = device
+        self.stats = FaultStats()
+        self._rng = np.random.default_rng(plan.seed)
+
+    # -------------------------------------------------------------- read path
+
+    def _effective_ber(self, block: int) -> float:
+        ber = self.plan.read_ber
+        if self.plan.wear_ber_scale:
+            ber *= 1.0 + self.plan.wear_ber_scale * self.device.erase_counts[block]
+        return min(ber, 0.5)
+
+    def filter_read(self, block: int, page: int, data) -> bytes:
+        """Inject bit errors into one page read; recover via ECC/retries.
+
+        Returns the (functionally intact) data on recovery, possibly
+        corrupted data under ``silent_corruption_p``, or raises
+        :class:`FlashUncorrectableError`.
+        """
+        if not self.plan.injects_read_faults:
+            return data
+        nbits = len(data) * 8
+        if nbits == 0:
+            return data
+        p = self._effective_ber(block)
+        n = int(self._rng.binomial(nbits, p))
+        self.stats.bit_errors_injected += n
+        if n <= self.plan.ecc_correctable_bits:
+            if n:
+                self.stats.bits_corrected += n
+                self.stats.pages_corrected += 1
+            return data
+        return self._retry_page(block, page, data, p, n)
+
+    def filter_read_batch(self, addresses, pages: list) -> list:
+        """Vectorized :meth:`filter_read` over one batched read."""
+        if not self.plan.injects_read_faults or not pages:
+            return pages
+        nbits = np.fromiter((len(d) * 8 for d in pages), dtype=np.int64,
+                            count=len(pages))
+        if self.plan.wear_ber_scale:
+            blocks = np.fromiter((a[0] for a in addresses), dtype=np.int64,
+                                 count=len(addresses))
+            erases = np.asarray(self.device.erase_counts, dtype=np.float64)[blocks]
+            p = np.minimum(self.plan.read_ber * (1.0 + self.plan.wear_ber_scale * erases), 0.5)
+        else:
+            p = np.full(len(pages), min(self.plan.read_ber, 0.5))
+        errs = self._rng.binomial(nbits, p)
+        self.stats.bit_errors_injected += int(errs.sum())
+        t = self.plan.ecc_correctable_bits
+        corrected = (errs > 0) & (errs <= t)
+        self.stats.bits_corrected += int(errs[corrected].sum())
+        self.stats.pages_corrected += int(corrected.sum())
+        bad = np.flatnonzero(errs > t)
+        if len(bad) == 0:
+            return pages
+        out = list(pages)
+        for i in bad:
+            block, page = addresses[int(i)]
+            out[int(i)] = self._retry_page(block, page, pages[int(i)],
+                                           float(p[int(i)]), int(errs[int(i)]))
+        return out
+
+    def _retry_page(self, block: int, page: int, data, base_p: float, n: int):
+        """Read-retry escalation after ECC is exceeded on a page read."""
+        plan = self.plan
+        nbits = len(data) * 8
+        for attempt in range(1, plan.read_retry_limit + 1):
+            self.stats.read_retries += 1
+            self._charge_retry(len(data))
+            retry_p = min(base_p * plan.retry_ber_scale ** attempt, 0.5)
+            n = int(self._rng.binomial(nbits, retry_p))
+            self.stats.bit_errors_injected += n
+            if n <= plan.ecc_correctable_bits:
+                self.stats.retry_recoveries += 1
+                if n:
+                    self.stats.bits_corrected += n
+                    self.stats.pages_corrected += 1
+                return data
+        if plan.silent_corruption_p > 0 and \
+                float(self._rng.random()) < plan.silent_corruption_p:
+            self.stats.silent_corruptions += 1
+            return self._corrupt(data, n)
+        self.stats.uncorrectable_reads += 1
+        raise FlashUncorrectableError(
+            f"uncorrectable read at ({block}, {page}): {n} bit errors exceed "
+            f"ECC t={plan.ecc_correctable_bits} after {plan.read_retry_limit} "
+            f"read-retries", block=block, page=page)
+
+    def _charge_retry(self, raw_bytes: int) -> None:
+        """One read-retry is a full extra page access: latency + transfer."""
+        device = self.device
+        nbytes = int(raw_bytes * device.traffic_scale)
+        bw = device.profile.flash_read_bw / device.geometry.channels
+        device.clock.charge(
+            "flash", device.profile.flash_read_latency_s + nbytes / bw,
+            nbytes=nbytes)
+
+    def _corrupt(self, data, n_errors: int) -> bytes:
+        """Flip ``n_errors`` (capped) bits — an ECC miscorrection escaping."""
+        corrupted = bytearray(data)
+        flips = self._rng.integers(0, len(corrupted) * 8,
+                                   size=min(max(n_errors, 1), 64))
+        for position in flips:
+            corrupted[int(position) // 8] ^= 1 << (int(position) % 8)
+        return bytes(corrupted)
+
+    # ------------------------------------------------------------- write path
+
+    def first_program_failure(self, block: int, page0: int, count: int) -> int | None:
+        """Index (within a program run) of the first injected failure."""
+        p = self.plan.program_fail_p
+        if p <= 0.0:
+            return None
+        if self.plan.wear_fail_scale:
+            p *= 1.0 + self.plan.wear_fail_scale * self.device.erase_counts[block]
+        draws = self._rng.random(count) < min(p, 1.0)
+        failed = np.flatnonzero(draws)
+        if len(failed) == 0:
+            return None
+        self.stats.program_failures += 1
+        return int(failed[0])
+
+    def erase_fails(self, block: int) -> str | None:
+        """Why this erase fails (``"wear"``/``"fault"``), or None."""
+        plan = self.plan
+        if plan.pe_cycle_limit and \
+                self.device.erase_counts[block] >= plan.pe_cycle_limit:
+            self.stats.erase_failures += 1
+            return "wear"
+        p = plan.erase_fail_p
+        if p <= 0.0:
+            return None
+        if plan.wear_fail_scale:
+            p *= 1.0 + plan.wear_fail_scale * self.device.erase_counts[block]
+        if float(self._rng.random()) < min(p, 1.0):
+            self.stats.erase_failures += 1
+            return "fault"
+        return None
+
+    # ----------------------------------------------------------------- timing
+
+    def jitter_s(self, base_latency_s: float) -> float:
+        """Uniform extra latency for one op (0.0 when jitter is disabled)."""
+        if self.plan.latency_jitter <= 0.0 or base_latency_s <= 0.0:
+            return 0.0
+        return base_latency_s * self.plan.latency_jitter * float(self._rng.random())
+
+
+# --------------------------------------------------------------------------
+# file-store checksum verification
+# --------------------------------------------------------------------------
+
+
+def page_crc(data) -> int:
+    """CRC-32 of one flushed page (the file stores record this at write)."""
+    return zlib.crc32(data)
+
+
+def verify_pages(pages: list, crcs: list[int], first_page: int, reread,
+                 injector: FaultInjector | None, label: str) -> list:
+    """Verify freshly-read pages against stored CRCs; re-read mismatches.
+
+    ``reread(page_index)`` must perform a real single-page re-read (charging
+    the clock and re-running ECC).  Each failed attempt raises
+    :class:`FlashTransientError` internally; the bounded retry loop either
+    recovers the page or escalates to :class:`FlashUncorrectableError`.
+    Returns the (possibly repaired) page list.
+    """
+    if injector is None or not crcs:
+        return pages
+    out = pages
+    for offset, data in enumerate(pages):
+        index = first_page + offset
+        if index >= len(crcs) or zlib.crc32(data) == crcs[index]:
+            continue
+        injector.stats.checksum_mismatches += 1
+        if out is pages:
+            out = list(pages)
+        out[offset] = _repair_page(reread, index, crcs[index], injector, label)
+    return out
+
+
+def _repair_page(reread, index: int, expected_crc: int,
+                 injector: FaultInjector, label: str) -> bytes:
+    retries = max(1, injector.plan.read_retry_limit)
+    for _attempt in range(retries):
+        try:
+            data = reread(index)
+            if zlib.crc32(data) != expected_crc:
+                raise FlashTransientError(
+                    f"checksum mismatch on re-read of {label} page {index}")
+        except FlashTransientError:
+            continue
+        injector.stats.checksum_recoveries += 1
+        return data
+    raise FlashUncorrectableError(
+        f"persistent checksum mismatch on {label} page {index} after "
+        f"{retries} re-reads")

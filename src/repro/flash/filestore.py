@@ -21,11 +21,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.flash.device import FlashDevice, FlashError
+from repro.flash.faults import page_crc, verify_pages
 from repro.flash.ftl import SSD
 
 
 class _SSDFile:
-    __slots__ = ("name", "lpns", "size", "tail_parts", "tail_len", "flushed_pages", "sealed")
+    __slots__ = ("name", "lpns", "size", "tail_parts", "tail_len",
+                 "flushed_pages", "sealed", "page_crcs")
 
     def __init__(self, name: str):
         self.name = name
@@ -37,6 +39,8 @@ class _SSDFile:
         self.tail_len = 0
         self.flushed_pages = 0
         self.sealed = False
+        # Per-flushed-page CRC-32, recorded only under fault injection.
+        self.page_crcs: list[int] = []
 
     def tail_bytes(self) -> bytes:
         """The unflushed tail as one bytes object (consolidates in place)."""
@@ -152,6 +156,8 @@ class SSDFileSystem:
         writes = [(lpn, view[start:start + page_bytes])
                   for lpn, start in zip(lpns, range(0, flush_bytes, page_bytes))]
         self.ssd.write_pages(writes)
+        if self.device.faults is not None:
+            f.page_crcs.extend(page_crc(d) for _lpn, d in writes)
         remainder = blob[flush_bytes:]
         f.tail_parts = [remainder] if remainder else []
         f.tail_len -= flush_bytes
@@ -165,6 +171,8 @@ class SSDFileSystem:
             tail = f.tail_bytes()
             padded = tail + b"\x00" * (self.page_bytes - len(tail))
             self.ssd.write_page(self._allocate_lpn(f), padded)
+            if self.device.faults is not None:
+                f.page_crcs.append(page_crc(padded))
             f.tail_parts = []
             f.tail_len = 0
             f.flushed_pages += 1
@@ -190,7 +198,10 @@ class SSDFileSystem:
             lpn = f.lpns[page_index]
             page = bytearray(self.ssd.read_page(lpn))
             page[in_page:in_page + n] = data[pos:pos + n]
-            self.ssd.write_page(lpn, bytes(page))
+            updated = bytes(page)
+            self.ssd.write_page(lpn, updated)
+            if page_index < len(f.page_crcs):
+                f.page_crcs[page_index] = page_crc(updated)
             pos += n
 
     # ---------------------------------------------------------------- reading
@@ -214,6 +225,11 @@ class SSDFileSystem:
             first_page = offset // page_bytes
             last_page = (flash_end - 1) // page_bytes
             pages = self.ssd.read_pages(f.lpns[first_page:last_page + 1])
+            if self.device.faults is not None:
+                pages = verify_pages(
+                    pages, f.page_crcs, first_page,
+                    lambda i: self.ssd.read_page(f.lpns[i]),
+                    self.device.faults, f"ssd:{f.name}")
             self._charge_prefetch(f, first_page, last_page + 1 - first_page)
             blob = b"".join(pages)
             start = offset - first_page * page_bytes

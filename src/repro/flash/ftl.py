@@ -10,7 +10,13 @@ the ablation benchmark measures directly.
 
 from __future__ import annotations
 
-from repro.flash.device import FlashDevice, FlashError
+from repro.flash.device import (
+    FlashDevice,
+    FlashEraseError,
+    FlashError,
+    FlashProgramError,
+    FlashWearOutError,
+)
 
 #: Extra latency a commodity FTL adds to every host-visible operation
 #: (mapping lookup, queueing, internal scheduling).  Removing this overhead
@@ -36,6 +42,11 @@ class PageMappedFTL:
             raise ValueError("device too small for requested over-provisioning")
         self.logical_pages = usable_blocks * geometry.pages_per_block
         self.gc_reserve_blocks = max(1, gc_reserve_blocks)
+        # The over-provisioned region doubles as the bad-block spare pool:
+        # each retired block consumes one spare, and running out means the
+        # drive can no longer guarantee its logical capacity.
+        self.spare_blocks_remaining = geometry.num_blocks - usable_blocks
+        self.blocks_retired = 0
 
         self._map: dict[int, tuple[int, int]] = {}
         self._reverse: dict[tuple[int, int], int] = {}
@@ -80,11 +91,22 @@ class PageMappedFTL:
         return self.device.read_page(block, page)
 
     def write(self, lpn: int, data: bytes) -> None:
-        """Write/overwrite a logical page; the old physical copy becomes garbage."""
+        """Write/overwrite a logical page; the old physical copy becomes garbage.
+
+        A program failure retires the block and transparently retries on a
+        fresh one; pages already written to the retired block stay readable
+        in place (grown defects), so no data moves.
+        """
         self._check_lpn(lpn)
-        block, page = self._allocate_page()
-        self.device.write_page(block, page, data)
-        self._commit_mapping(lpn, block, page)
+        while True:
+            block, page = self._allocate_page()
+            try:
+                self.device.write_page(block, page, data)
+            except FlashProgramError:
+                self._on_block_retired(block)
+                continue
+            self._commit_mapping(lpn, block, page)
+            return
 
     def write_many(self, writes: list[tuple[int, bytes]]) -> None:
         """Batched sequential write: device latency is paid once per block batch.
@@ -106,8 +128,15 @@ class PageMappedFTL:
             block, page0 = self._active_block, self._active_page
             self._active_page += take
             batch = writes[i:i + take]
-            self.device.write_pages(
-                [(block, page0 + j, data) for j, (_lpn, data) in enumerate(batch)])
+            try:
+                self.device.write_pages(
+                    [(block, page0 + j, data) for j, (_lpn, data) in enumerate(batch)])
+            except FlashProgramError as e:
+                # Pages before the failure landed and stay readable in the
+                # retired block; map them, then retry the rest elsewhere.
+                take = getattr(e, "batch_committed", 0)
+                batch = batch[:take]
+                self._on_block_retired(block)
             lpn_map, reverse = self._map, self._reverse
             invalidate = self.device.invalidate_page
             for j, (lpn, _data) in enumerate(batch):
@@ -156,6 +185,24 @@ class PageMappedFTL:
             raise FlashError("SSD full: garbage collection found no reclaimable space")
         return self._free_blocks.pop()
 
+    def _on_block_retired(self, block: int) -> None:
+        """Account for a block the device just retired (program/erase failure).
+
+        The retired block leaves the writable pool; its slot is covered by
+        the over-provisioned spares until those run out, at which point the
+        drive can no longer back its logical capacity.
+        """
+        if block in self._free_blocks:
+            self._free_blocks.remove(block)
+        if self._active_block == block:
+            self._active_block = None
+        self.blocks_retired += 1
+        self.spare_blocks_remaining -= 1
+        if self.spare_blocks_remaining < 0:
+            raise FlashWearOutError(
+                f"spare pool exhausted: {self.blocks_retired} retired blocks "
+                f"exceed the over-provisioned spare capacity")
+
     def _collect_garbage(self) -> None:
         """Greedy GC: relocate the blocks with the fewest valid pages."""
         geometry = self.device.geometry
@@ -164,6 +211,7 @@ class PageMappedFTL:
             candidates = [
                 b for b in range(geometry.num_blocks)
                 if b != self._active_block and b not in self._free_blocks
+                and not self.device.is_bad(b)
             ]
             while len(self._free_blocks) <= self.gc_reserve_blocks and candidates:
                 victim = min(candidates, key=self.device.valid_pages)
@@ -183,13 +231,25 @@ class PageMappedFTL:
             if lpn is None:
                 continue
             data = self.device.read_page(victim, page)
-            new_block, new_page = self._allocate_page()
-            self.device.write_page(new_block, new_page, data)
+            while True:
+                new_block, new_page = self._allocate_page()
+                try:
+                    self.device.write_page(new_block, new_page, data)
+                except FlashProgramError:
+                    self._on_block_retired(new_block)
+                    continue
+                break
             self._map[lpn] = (new_block, new_page)
             self._reverse[(new_block, new_page)] = lpn
             del self._reverse[addr]
             self.gc_relocations += 1
-        self.device.erase_block(victim)
+        try:
+            self.device.erase_block(victim)
+        except FlashEraseError:
+            # Every valid page was already relocated; the block just never
+            # rejoins the free pool.
+            self._on_block_retired(victim)
+            return
         self._free_blocks.insert(0, victim)
 
 

@@ -24,6 +24,7 @@ class WearReport:
     max_erase_count: int
     mean_erase_count: float
     erase_count_stddev: float
+    bad_blocks: int = 0
 
     @staticmethod
     def from_device(device: FlashDevice) -> "WearReport":
@@ -38,6 +39,7 @@ class WearReport:
             max_erase_count=max(counts) if counts else 0,
             mean_erase_count=mean,
             erase_count_stddev=var ** 0.5,
+            bad_blocks=device.bad_block_count,
         )
 
     def wear_evenness(self) -> float:

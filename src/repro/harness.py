@@ -101,6 +101,12 @@ class WorkloadResult:
     flash_bytes: int = 0
     memory_bytes: int = 0
     dnf_reason: str = ""
+    # Fault-injection outcome counters (all zero without a FaultPlan).
+    corrected_bit_errors: int = 0
+    read_retries: int = 0
+    uncorrectable_reads: int = 0
+    checksum_recoveries: int = 0
+    retired_blocks: int = 0
 
     @property
     def time_or_nan(self) -> float:
@@ -118,10 +124,16 @@ def run_grafboost_system(kind: str, graph: CSRGraph, algorithm: str,
                          dram_bytes: int | None = None,
                          profile: HardwareProfile | None = None,
                          dataset: str = "?", seed_root: int | None = None,
-                         pagerank_iterations: int = 1) -> WorkloadResult:
-    """Run one of the GraFBoost-family engines on an algorithm."""
+                         pagerank_iterations: int = 1,
+                         faults=None) -> WorkloadResult:
+    """Run one of the GraFBoost-family engines on an algorithm.
+
+    ``faults`` (a :class:`~repro.flash.faults.FaultPlan`) makes the run a
+    seeded chaos test; its recovery counters land on the result.
+    """
     system = make_system(kind.lower(), scale, dram_bytes=dram_bytes,
-                         num_vertices_hint=graph.num_vertices, profile=profile)
+                         num_vertices_hint=graph.num_vertices, profile=profile,
+                         faults=faults)
     flash_graph = system.load_graph(graph)
     engine = system.engine_for(flash_graph, graph.num_vertices)
     root = default_root(graph) if seed_root is None else seed_root
@@ -143,13 +155,22 @@ def run_grafboost_system(kind: str, graph: CSRGraph, algorithm: str,
         raise ValueError(f"unknown algorithm {algorithm!r}")
 
     clock = system.clock
-    return WorkloadResult(
+    workload = WorkloadResult(
         system=kind, algorithm=algorithm, dataset=dataset, completed=True,
         elapsed_s=elapsed, supersteps=supersteps, traversed_edges=traversed,
         cpu_busy_s=clock.busy_s("cpu") + clock.busy_s("accel"),
         flash_bytes=clock.bytes_moved("flash"),
         memory_bytes=system.memory.peak,
     )
+    injector = system.device.faults
+    if injector is not None:
+        stats = injector.stats
+        workload.corrected_bit_errors = stats.bits_corrected
+        workload.read_retries = stats.read_retries
+        workload.uncorrectable_reads = stats.uncorrectable_reads
+        workload.checksum_recoveries = stats.checksum_recoveries
+        workload.retired_blocks = stats.blocks_retired
+    return workload
 
 
 _BASELINE_CLASSES = {
@@ -206,7 +227,8 @@ def run_cell(system: str, graph: CSRGraph, algorithm: str,
              cutoff_s: float = DNF_CUTOFF_UNLIMITED,
              dataset: str = "?",
              pagerank_iterations: int = 1,
-             grafboost_profile: HardwareProfile | None = None) -> WorkloadResult:
+             grafboost_profile: HardwareProfile | None = None,
+             faults=None) -> WorkloadResult:
     """Dispatch one (system, algorithm) cell with shared conventions.
 
     ``server_profile`` is the host every *software* system runs on (the
@@ -226,7 +248,8 @@ def run_cell(system: str, graph: CSRGraph, algorithm: str,
         profile = grafboost_profile if system != "GraFSoft" else None
         return run_grafboost_system(system, graph, algorithm, scale=scale,
                                     dataset=dataset, profile=profile,
-                                    pagerank_iterations=pagerank_iterations)
+                                    pagerank_iterations=pagerank_iterations,
+                                    faults=faults)
     return run_baseline_system(system, graph, algorithm, server_profile,
                                scale=scale, cutoff_s=cutoff_s, dataset=dataset,
                                pagerank_iterations=pagerank_iterations)

@@ -96,16 +96,25 @@ def superstep_timeline(supersteps, max_rows: int = 20) -> str:
         rows, title="Per-superstep timeline")
 
 
+def default_results_dir() -> str:
+    """``benchmarks/results`` under the repository root, regardless of CWD."""
+    from pathlib import Path
+
+    repo_root = Path(__file__).resolve().parents[3]
+    return str(repo_root / "benchmarks" / "results")
+
+
 def emit_results(name: str, text: str, directory: str | None = None) -> str:
     """Print a benchmark's regenerated table/figure and persist it.
 
     Benchmarks both print (visible with ``pytest -s``) and write to
-    ``benchmarks/results/<name>.txt`` so the regenerated paper artifacts
-    survive output capturing.  Returns the file path.
+    ``benchmarks/results/<name>.txt`` under the repo root — anchored there
+    (not CWD) so running benches from any directory lands artifacts in one
+    place.  Returns the file path.
     """
     import os
 
-    directory = directory or os.path.join("benchmarks", "results")
+    directory = directory or default_results_dir()
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, f"{name}.txt")
     with open(path, "w") as f:

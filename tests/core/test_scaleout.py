@@ -102,6 +102,25 @@ def test_partition_of():
     assert parts.tolist() == [0, 0, 1, 3]
 
 
+def test_partition_bounds_exact_at_huge_key_spaces():
+    # Regression: bounds came from float64 linspace, which loses integer
+    # precision past 2^53 — at a 2^62 key space the first interior bound
+    # landed 85 keys low, misrouting every key in the gap.
+    _, devices = make_devices(3)
+    key_space = 2 ** 62
+    reducer = PartitionedSortReducer(devices, SUM, np.float64, key_space,
+                                     chunk_bytes=64 * 1024)
+    assert reducer.bounds.dtype == np.uint64
+    assert int(reducer.bounds[1]) == key_space * 1 // 3  # 1537228672809129301
+    assert int(reducer.bounds[1]) != 1537228672809129216  # the float64 answer
+    assert int(reducer.bounds[3]) == key_space
+    # Keys straddling the exact bound route to the right partitions.
+    bound = key_space // 3
+    parts = reducer.partition_of(np.array([bound - 1, bound], dtype=np.uint64))
+    assert parts.tolist() == [0, 1]
+    reducer.finish()
+
+
 def test_validation():
     _, devices = make_devices(2)
     with pytest.raises(ValueError, match="at least one"):

@@ -70,6 +70,45 @@ def test_invalidate_tracks_page_state():
         device.invalidate_page(0, 0)  # already invalid
 
 
+def test_read_of_invalidated_page_is_flash_error():
+    # Regression: this used to escape as a bare KeyError from the page map.
+    device = make_device()
+    device.write_page(0, 0, b"v")
+    device.invalidate_page(0, 0)
+    with pytest.raises(FlashError, match="invalidated"):
+        device.read_page(0, 0)
+
+
+def test_batched_read_of_invalidated_page_is_flash_error():
+    # Regression: a multi-page run hitting an invalidated page used to raise
+    # KeyError from the batched fast path instead of a typed error.
+    device = make_device()
+    for page in range(4):
+        device.write_page(0, page, bytes([page]) * 16)
+    device.invalidate_page(0, 1)
+    with pytest.raises(FlashError, match="invalidated"):
+        device.read_pages([(0, page) for page in range(4)])
+
+
+def test_batched_read_of_erased_page_matches_scalar():
+    device = make_device()
+    device.write_page(0, 0, b"a")
+    with pytest.raises(FlashError, match="erased"):
+        device.read_pages([(0, 0), (0, 1), (0, 2)])
+
+
+def test_batched_write_errors_match_scalar():
+    # Out-of-order program: same typed error from the batched run path.
+    device = make_device()
+    with pytest.raises(FlashError, match="out-of-order"):
+        device.write_pages([(0, 3, b"x"), (0, 4, b"y")])
+    # Oversize page: both paths reject before touching state.
+    device2 = make_device()
+    with pytest.raises(FlashError, match="exceeds page size"):
+        device2.write_pages([(0, 0, b"ok"), (0, 1, b"z" * 5000)])
+    assert device2.valid_pages(0) == 0
+
+
 def test_out_of_range_addresses():
     device = make_device()
     with pytest.raises(FlashError):

@@ -55,6 +55,28 @@ def test_human_seconds():
     assert human_seconds(float("nan")) == "DNF"
 
 
+def test_default_results_dir_is_repo_anchored():
+    # Regression: emit_results used a CWD-relative "benchmarks/results", so
+    # running a bench from outside the repo root scattered artifacts.
+    import os
+    from repro.perf.report import default_results_dir
+
+    path = default_results_dir()
+    assert os.path.isabs(path)
+    assert path.endswith(os.path.join("benchmarks", "results"))
+    repo_root = os.path.dirname(os.path.dirname(path))
+    assert os.path.exists(os.path.join(repo_root, "src", "repro"))
+
+
+def test_emit_results_honors_explicit_directory(tmp_path, capsys):
+    from repro.perf.report import emit_results
+
+    path = emit_results("t", "hello", directory=str(tmp_path))
+    assert path == str(tmp_path / "t.txt")
+    assert (tmp_path / "t.txt").read_text() == "hello\n"
+    assert "hello" in capsys.readouterr().out
+
+
 def test_superstep_timeline_samples_long_runs():
     from repro.engine.engine import SuperstepMetrics
     from repro.perf.report import superstep_timeline

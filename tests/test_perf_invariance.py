@@ -24,6 +24,7 @@ from repro.core.kvstream import KVArray
 from repro.core.reduce_ops import SUM
 from repro.flash.aoffs import AppendOnlyFlashFS
 from repro.flash.device import FlashDevice, FlashGeometry
+from repro.flash.faults import FaultPlan
 from repro.flash.filestore import SSDFileSystem
 from repro.flash.ftl import SSD
 from repro.graph.formats import FlashCSR, coalesce_ranges
@@ -235,9 +236,15 @@ def test_page_flush_matches_reference(fs_kind, seed):
 # and must survive every perf-only PR bit-for-bit.
 
 
-def test_sim_clock_invariance_external_sort_reduce():
+@pytest.mark.parametrize("faults", [None, FaultPlan()],
+                         ids=["no-plan", "zero-rate-plan"])
+def test_sim_clock_invariance_external_sort_reduce(faults):
+    # The zero-rate FaultPlan variant pins that merely *attaching* the fault
+    # layer (with every rate at 0) changes nothing: no RNG draws, no extra
+    # latency, bit-identical accounting.
     clock = SimClock()
-    device = FlashDevice(FlashGeometry(8192, 32, 2048), GRAFSOFT, clock)
+    device = FlashDevice(FlashGeometry(8192, 32, 2048), GRAFSOFT, clock,
+                         faults=faults)
     store = SSDFileSystem(SSD(device))
     backend = backend_for_profile(GRAFSOFT)
     red = ExternalSortReducer(store, SUM, np.float64, backend,
@@ -261,10 +268,18 @@ def test_sim_clock_invariance_external_sort_reduce():
     ("GraFSoft", 0.020262423304451636, 19759104),
     ("GraFBoost", 0.006711056717236828, 9875456),
 ])
-def test_sim_clock_invariance_pagerank(system, golden_elapsed, golden_flash):
+@pytest.mark.parametrize("faults", [None, FaultPlan()],
+                         ids=["no-plan", "zero-rate-plan"])
+def test_sim_clock_invariance_pagerank(system, golden_elapsed, golden_flash,
+                                       faults):
     graph = load_dataset("kron30", scale=1 / 65536, seed=7)
     result = run_grafboost_system(system, graph, "pagerank", scale=1 / 65536,
-                                  dataset="kron30", pagerank_iterations=2)
+                                  dataset="kron30", pagerank_iterations=2,
+                                  faults=faults)
     assert result.elapsed_s == golden_elapsed
     assert result.flash_bytes == golden_flash
     assert result.traversed_edges == 521983
+    if faults is not None:
+        assert result.corrected_bit_errors == 0
+        assert result.read_retries == 0
+        assert result.retired_blocks == 0
