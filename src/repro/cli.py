@@ -19,7 +19,7 @@ import argparse
 import sys
 
 from repro.flash.device import FlashError
-from repro.flash.faults import FaultPlan
+from repro.flash.faults import CrashPlan, FaultPlan
 from repro.graph.datasets import DATASETS, DEFAULT_SCALE
 from repro.harness import (
     ALGORITHMS,
@@ -61,6 +61,13 @@ def _parse_faults(text: str) -> FaultPlan:
         raise argparse.ArgumentTypeError(str(exc)) from exc
 
 
+def _parse_crashes(text: str) -> CrashPlan:
+    try:
+        return CrashPlan.parse(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -86,6 +93,17 @@ def build_parser() -> argparse.ArgumentParser:
                      help="seeded fault-injection plan for the flash device, "
                           "e.g. seed=3,ber=5e-5,pfail=1e-4 (GraFBoost-family "
                           "systems only)")
+    run.add_argument("--crash", type=_parse_crashes, default=None,
+                     metavar="SPEC", dest="crashes",
+                     help="seeded power-loss plan, e.g. seed=3,ops=5 or "
+                          "at=120/4000/9000; each crash kills the stack "
+                          "mid-run, which then remounts and resumes from "
+                          "the latest checkpoint (pagerank/bfs on "
+                          "GraFBoost-family systems)")
+    run.add_argument("--checkpoint-every", type=int, default=None,
+                     metavar="N",
+                     help="checkpoint engine state every N supersteps "
+                          "(default: 4 when --crash is given, else off)")
 
     compare = sub.add_parser("compare", help="run a figure-style matrix")
     compare.add_argument("--dataset", choices=sorted(DATASETS), default="kron28")
@@ -142,9 +160,24 @@ def cmd_run(args) -> int:
               f"({', '.join(GRAFBOOST_FAMILY)}), not {args.system}",
               file=sys.stderr)
         return 2
+    if args.crashes is not None:
+        if args.system not in GRAFBOOST_FAMILY:
+            print(f"--crash only applies to the simulated flash stacks "
+                  f"({', '.join(GRAFBOOST_FAMILY)}), not {args.system}",
+                  file=sys.stderr)
+            return 2
+        if args.algorithm not in ("pagerank", "bfs"):
+            print("--crash supports pagerank and bfs (multi-phase "
+                  "algorithms have no checkpoint protocol)", file=sys.stderr)
+            return 2
+    checkpoint_every = args.checkpoint_every
+    if checkpoint_every is None:
+        checkpoint_every = 4 if args.crashes is not None else 0
     try:
         cell = run_cell(args.system, graph, args.algorithm, scale=args.scale,
-                        dataset=args.dataset, faults=args.faults)
+                        dataset=args.dataset, faults=args.faults,
+                        crashes=args.crashes,
+                        checkpoint_every=checkpoint_every)
     except FlashError as e:
         print(f"{args.system} {args.algorithm}: aborted on "
               f"{type(e).__name__}: {e}", file=sys.stderr)
@@ -168,6 +201,12 @@ def cmd_run(args) -> int:
             ["read retries", f"{cell.read_retries:,}"],
             ["checksum recoveries", f"{cell.checksum_recoveries:,}"],
             ["retired blocks", f"{cell.retired_blocks:,}"],
+        ]
+    if args.crashes is not None:
+        rows += [
+            ["power losses", f"{cell.power_losses:,}"],
+            ["torn writes", f"{cell.torn_writes:,}"],
+            ["remounts", f"{cell.remounts:,}"],
         ]
     print(format_table(["metric", "value"], rows))
     return 0

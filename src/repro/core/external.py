@@ -93,6 +93,20 @@ class SortReduceStats:
             return 0
         return self._by_phase[max(self._by_phase)].pairs_out
 
+    def to_dict(self) -> dict:
+        """JSON-safe form (checkpointed alongside the engine state)."""
+        return {"total_input_pairs": self.total_input_pairs,
+                "phases": [[s.phase, s.pairs_in, s.pairs_out]
+                           for s in self.phases]}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SortReduceStats":
+        stats = cls()
+        stats.total_input_pairs = d["total_input_pairs"]
+        for phase, pairs_in, pairs_out in d["phases"]:
+            stats._by_phase[phase] = PhaseStat(phase, pairs_in, pairs_out)
+        return stats
+
 
 class RunHandle:
     """A sealed, sorted, reduced run file living in a flash file store.
@@ -305,6 +319,18 @@ class ExternalSortReducer:
         self._buffer.clear()
         self._buffered_bytes = 0
 
+    def adopt_runs(self, runs: list[RunHandle]) -> None:
+        """Seed recovered runs into this sort-reduce (crash recovery).
+
+        The caller owns the bookkeeping of how much of the *input stream*
+        the adopted runs already cover — feeding pairs a recovered run
+        already holds would double-count them.
+        """
+        if self._finished:
+            raise RuntimeError("adopt_runs() after finish()")
+        self._runs.extend(runs)
+        self._merge_full_levels()
+
     def _merge_group(self, group: list[RunHandle], concurrency: int = 1) -> None:
         """Stream-merge one group of runs into a single higher-level run."""
         group = sorted(group, key=lambda r: r.seq)  # oldest data first
@@ -332,6 +358,39 @@ class ExternalSortReducer:
             run.delete()
         self._runs = [r for r in self._runs if r not in group]
         self._runs.append(handle)
+
+
+def recover_runs(store, prefix: str,
+                 value_dtype: np.dtype) -> tuple[list[RunHandle], list[str]]:
+    """After a crash, split the run files under ``prefix`` into keep/discard.
+
+    A *sealed* run is complete — the sorter sealed it only after its last
+    record hit flash — so it is adopted as a :class:`RunHandle` (level 0;
+    age recovered from the run-file counter so non-commutative reductions
+    keep their order).  An *unsealed* run died mid-write: mount already
+    truncated it to its committed pages, but its logical tail is gone, so
+    it is deleted.  Returns ``(recovered, discarded_names)``.
+    """
+    value_dtype = np.dtype(value_dtype)
+    rec = record_dtype(value_dtype).itemsize
+
+    def run_age(name: str) -> int:
+        tail = name.rsplit("run-", 1)
+        return int(tail[1]) if len(tail) == 2 and tail[1].isdigit() else 0
+
+    recovered: list[RunHandle] = []
+    discarded: list[str] = []
+    for name in list(store.list_files()):
+        if not name.startswith(prefix):
+            continue
+        if store.is_sealed(name) and store.size(name) % rec == 0:
+            recovered.append(RunHandle(store, name, store.size(name) // rec,
+                                       value_dtype, level=0, seq=run_age(name)))
+        else:
+            store.delete(name)
+            discarded.append(name)
+    recovered.sort(key=lambda r: r.seq)
+    return recovered, discarded
 
 
 def sort_reduce_stream(chunks: Iterator[KVArray], store, op: ReduceOp,

@@ -65,18 +65,58 @@ class SystemConfig:
     memory: MemoryTracker
     chunk_bytes: int
     fanout: int = 16
+    durable: bool = False
 
     def engine_for(self, graph: FlashCSR, num_vertices: int,
-                   lazy: bool = True) -> GraFBoostEngine:
+                   lazy: bool = True, checkpoint_every: int = 0,
+                   auto_resume: bool = False) -> GraFBoostEngine:
         return GraFBoostEngine(
             graph, self.store, self.backend, num_vertices,
             chunk_bytes=self.chunk_bytes, fanout=self.fanout,
             memory=self.memory, lazy=lazy,
+            checkpoint_every=checkpoint_every, auto_resume=auto_resume,
         )
 
     def load_graph(self, graph: CSRGraph, prefix: str = "graph") -> FlashCSR:
         """Serialize a CSR graph into this system's store."""
         return FlashCSR.write(self.store, prefix, graph)
+
+    def remount(self) -> None:
+        """Rebuild the file store from flash after a simulated power loss.
+
+        The hardware — device, clock, backend — survives a crash; only the
+        host-side store object dies.  The replacement store replays the
+        durable metadata (journal or metadata log), which charges recovery
+        reads against the shared clock, so recovered runs account their
+        mount time honestly.  The fresh MemoryTracker keeps the old peak:
+        DRAM contents died with power, but the experiment's peak-usage
+        metric spans the whole run.
+        """
+        if not self.durable:
+            raise RuntimeError(
+                f"system {self.name!r} was not built durable=True; nothing "
+                f"on flash can be remounted after a power loss")
+        if isinstance(self.store, AppendOnlyFlashFS):
+            self.store = AppendOnlyFlashFS(
+                self.device, prefetch_pages=self.store.prefetch_pages,
+                durable=True)
+        else:
+            ssd = SSD.mount(self.device,
+                            ftl_overhead_s=self.profile.ftl_overhead_s)
+            self.store = SSDFileSystem.mount(
+                ssd, prefetch_pages=self.store.prefetch_pages)
+        peak = self.memory.peak
+        self.memory = MemoryTracker(budget=self.memory.budget,
+                                    policy=self.memory.policy)
+        self.memory.peak = peak
+
+    def reattach_graph(self, flash_graph: FlashCSR) -> FlashCSR:
+        """Point a graph handle at the remounted store (files survive)."""
+        graph = FlashCSR(self.store, flash_graph.prefix,
+                         flash_graph.num_vertices, flash_graph.num_edges,
+                         has_weights=flash_graph.has_weights)
+        graph.wasted_read_bytes = flash_graph.wasted_read_bytes
+        return graph
 
 
 def scaled_geometry(capacity_bytes: int, page_bytes: int = 8192,
@@ -102,7 +142,8 @@ def make_system(kind: str, scale_factor: float = 1.0,
                 flash_capacity: int | None = None,
                 num_vertices_hint: int | None = None,
                 profile: HardwareProfile | None = None,
-                faults=None) -> SystemConfig:
+                faults=None, crashes=None,
+                durable: bool = False) -> SystemConfig:
     """Build one of the GraFBoost-family stacks at a given scale.
 
     ``dram_bytes`` overrides the (scaled) DRAM budget — the Fig 13 memory
@@ -111,8 +152,12 @@ def make_system(kind: str, scale_factor: float = 1.0,
     slack of many coexisting run files.  ``num_vertices_hint`` sizes the
     accelerator's key packing (Fig 7).  ``faults`` is an optional
     :class:`~repro.flash.faults.FaultPlan` turning the run into a seeded
-    chaos test.
+    chaos test.  ``crashes`` (a :class:`~repro.flash.faults.CrashPlan`)
+    additionally injects power losses at seeded flash-op indices; it
+    implies ``durable=True``, which makes the store write its metadata
+    through to flash so :meth:`SystemConfig.remount` can recover it.
     """
+    durable = durable or crashes is not None
     if profile is None:
         try:
             base_profile, store_kind = _KINDS[kind]
@@ -141,13 +186,15 @@ def make_system(kind: str, scale_factor: float = 1.0,
         backend = AcceleratorBackend(scaled, packing)
         device = FlashDevice(scaled_geometry(capacity), scaled, clock,
                              traffic_scale=backend.traffic_scale(),
-                             faults=faults)
-        store = AppendOnlyFlashFS(device)
+                             faults=faults, crashes=crashes)
+        store = AppendOnlyFlashFS(device, durable=durable)
     else:
         backend = SoftwareBackend(scaled)
         device = FlashDevice(scaled_geometry(capacity), scaled, clock,
-                             faults=faults)
-        store = SSDFileSystem(SSD(device, ftl_overhead_s=scaled.ftl_overhead_s))
+                             faults=faults, crashes=crashes)
+        store = SSDFileSystem(SSD(device, ftl_overhead_s=scaled.ftl_overhead_s,
+                                  durable=durable),
+                              durable=durable)
 
     chunk = int(PAPER_CHUNK_BYTES * scale_factor)
     chunk = max(MIN_CHUNK_BYTES, min(max(chunk, MIN_CHUNK_BYTES), scaled.dram_capacity * 4))
@@ -163,4 +210,5 @@ def make_system(kind: str, scale_factor: float = 1.0,
         backend=backend,
         memory=memory,
         chunk_bytes=chunk,
+        durable=durable,
     )

@@ -4,16 +4,20 @@ per-superstep metrics (the numbers behind every evaluation figure).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
-from repro.core.external import SortReduceStats
+from repro.core.external import RunHandle, SortReduceStats
 from repro.engine.api import VertexProgram
 from repro.flash.device import FlashError
 from repro.engine.superstep import SuperstepExecutor
 from repro.graph.formats import FlashCSR
 from repro.graph.vertexdata import VertexArray
+
+#: Checkpoint format version (bumped on incompatible layout changes).
+CHECKPOINT_VERSION = 1
 
 
 @dataclass
@@ -84,7 +88,9 @@ class GraFBoostEngine:
 
     def __init__(self, graph: FlashCSR, store, backend, num_vertices: int,
                  chunk_bytes: int, fanout: int = 16, memory=None,
-                 lazy: bool = True, max_overlays: int = 64):
+                 lazy: bool = True, max_overlays: int = 64,
+                 checkpoint_every: int = 0, checkpoint_prefix: str = "ckpt",
+                 auto_resume: bool = False):
         self.graph = graph
         self.store = store
         self.backend = backend
@@ -94,6 +100,16 @@ class GraFBoostEngine:
         self.memory = memory
         self.lazy = lazy
         self.max_overlays = max_overlays
+        # Crash tolerance: every `checkpoint_every` supersteps, persist the
+        # vertex data, frontier run and superstep counter to the (durable)
+        # store; `auto_resume` makes run() continue from the newest matching
+        # checkpoint after a remount.  Both default off — checkpointing
+        # writes real (simulated) flash traffic.
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_prefix = checkpoint_prefix
+        self.auto_resume = auto_resume
+        self.resumed_from_superstep: int | None = None
+        self._retired: list[str] = []
 
     @property
     def clock(self):
@@ -107,21 +123,36 @@ class GraFBoostEngine:
         ``newV`` into ``V`` so :meth:`RunResult.final_values` is consistent.
         """
         limit = program.max_supersteps() if max_supersteps is None else max_supersteps
-        vertices = VertexArray(
-            self.store, self.num_vertices, program.value_dtype,
-            program.default_value, max_overlays=self.max_overlays,
-        )
+        run_start = self.clock.elapsed_s
+        retire = self._retire_file if self.checkpoint_every else None
+
+        state = self._load_checkpoint(program) if self.auto_resume else None
+        self.resumed_from_superstep = None
+        if state is not None:
+            vertices, prev_run, superstep, result = self._restore(program, state)
+            prev_chunks = prev_run.chunks()
+            self.resumed_from_superstep = superstep
+        else:
+            vertices = VertexArray(
+                self.store, self.num_vertices, program.value_dtype,
+                program.default_value, max_overlays=self.max_overlays,
+                retire=retire,
+            )
+            result = RunResult(algorithm=program.name, vertices=vertices)
+            prev_chunks = program.initial_updates(self.num_vertices)
+            prev_run = None
+            superstep = 0
         executor = SuperstepExecutor(
             self.graph, vertices, program, self.store, self.backend,
             self.chunk_bytes, fanout=self.fanout, memory=self.memory, lazy=self.lazy,
         )
-        result = RunResult(algorithm=program.name, vertices=vertices)
-        run_start = self.clock.elapsed_s
-
-        prev_chunks = program.initial_updates(self.num_vertices)
-        prev_run = None
-        superstep = 0
+        last_checkpoint = superstep
         while superstep < limit:
+            if (self.checkpoint_every and superstep > last_checkpoint
+                    and superstep % self.checkpoint_every == 0):
+                self._write_checkpoint(program, result, vertices, prev_run,
+                                       superstep)
+                last_checkpoint = superstep
             checkpoint = self.clock.checkpoint()
             flash_bytes_start = self.clock.bytes_moved("flash")
             try:
@@ -130,7 +161,7 @@ class GraFBoostEngine:
                 e.add_note(f"while running {program.name} superstep {superstep}")
                 raise
             if prev_run is not None:
-                prev_run.delete()
+                self._discard_run(prev_run)
             prev_run = outcome.new_run
             result.supersteps.append(SuperstepMetrics(
                 superstep=superstep,
@@ -157,6 +188,8 @@ class GraFBoostEngine:
         if prev_run is not None and prev_run.num_records:
             self._apply_pass(executor, prev_run, superstep)
             prev_run.delete()
+        if self.checkpoint_every:
+            self._clear_checkpoint()
         result.elapsed_s = self.clock.elapsed_s - run_start
         return result
 
@@ -174,3 +207,114 @@ class GraFBoostEngine:
             if np.any(mask):
                 overlay.add(KVArray(chunk.keys[mask], np.asarray(finalized)[mask]))
         overlay.close()
+
+    # ----------------------------------------------------- checkpoint/restart
+
+    @property
+    def _checkpoint_file(self) -> str:
+        return f"{self.checkpoint_prefix}:latest"
+
+    def _retire_file(self, name: str) -> None:
+        """Defer a deletion until the next checkpoint supersedes the one that
+        may still reference this file."""
+        self._retired.append(name)
+
+    def _discard_run(self, run) -> None:
+        if not self.checkpoint_every:
+            run.delete()
+        elif run.num_records and self.store.exists(run.name):
+            self._retire_file(run.name)
+
+    def _write_checkpoint(self, program: VertexProgram, result: RunResult,
+                          vertices: VertexArray, prev_run, superstep: int) -> None:
+        """Persist resumable state through the store's crash-consistent path.
+
+        Ordering is the whole protocol: every file the checkpoint references
+        is already sealed on flash, the staging file is sealed before the
+        atomic rename publishes it, and only *after* publication are the
+        files retired since the previous checkpoint actually deleted.  A
+        power loss at any point leaves either the old or the new checkpoint
+        fully intact (plus, at worst, some orphaned files that resume's
+        sweep reclaims).
+        """
+        files = vertices.files_on_flash()
+        state = {
+            "version": CHECKPOINT_VERSION,
+            "algorithm": program.name,
+            "superstep": superstep,
+            "vertices": vertices.snapshot_state(),
+            "prev_run": {
+                "name": prev_run.name, "num_records": prev_run.num_records,
+                "level": prev_run.level, "seq": prev_run.seq,
+            },
+            "supersteps": [asdict(m) for m in result.supersteps],
+            "sort_stats": [s.to_dict() for s in result.sort_stats],
+            "files": files + ([prev_run.name] if prev_run.num_records else []),
+        }
+        staging = f"{self.checkpoint_prefix}:staging"
+        if self.store.exists(staging):
+            self.store.delete(staging)
+        self.store.append(staging, json.dumps(state).encode())
+        self.store.seal(staging)
+        self.store.rename(staging, self._checkpoint_file, overwrite=True)
+        retired, self._retired = self._retired, []
+        for name in retired:
+            if self.store.exists(name):
+                self.store.delete(name)
+
+    def _load_checkpoint(self, program: VertexProgram) -> dict | None:
+        if not self.store.exists(self._checkpoint_file):
+            return None
+        state = json.loads(bytes(self.store.read(self._checkpoint_file)))
+        if (state.get("version") != CHECKPOINT_VERSION
+                or state.get("algorithm") != program.name):
+            return None
+        return state
+
+    def _restore(self, program: VertexProgram, state: dict):
+        """Rebuild engine state from a checkpoint and sweep crash orphans."""
+        retire = self._retire_file if self.checkpoint_every else None
+        vertices = VertexArray.restore(
+            self.store, state["vertices"], program.value_dtype,
+            program.default_value, max_overlays=self.max_overlays,
+            retire=retire)
+        run_state = state["prev_run"]
+        prev_run = RunHandle(self.store, run_state["name"],
+                             run_state["num_records"], program.value_dtype,
+                             level=run_state["level"], seq=run_state["seq"])
+        result = RunResult(algorithm=program.name, vertices=vertices)
+        result.supersteps = [SuperstepMetrics(**m) for m in state["supersteps"]]
+        result.sort_stats = [SortReduceStats.from_dict(d)
+                             for d in state["sort_stats"]]
+        self._sweep_orphans(program, state)
+        return vertices, prev_run, int(state["superstep"]), result
+
+    def _sweep_orphans(self, program: VertexProgram, state: dict) -> None:
+        """Delete engine-owned files the checkpoint does not reference.
+
+        These are the half-written leftovers of the interrupted superstep
+        (overlay/run files whose metadata committed but whose logical role
+        died with the crash) plus anything retired after the checkpoint
+        published.  Only names under the engine's own prefixes are touched —
+        graph files and foreign data are left alone.
+        """
+        referenced = set(state["files"])
+        referenced.add(self._checkpoint_file)
+        vertex_prefix = state["vertices"]["prefix"] + ":"
+        run_prefix = f"{program.name}-s"
+        for name in list(self.store.list_files()):
+            if name in referenced:
+                continue
+            if (name.startswith(vertex_prefix) or name.startswith(run_prefix)
+                    or name == f"{self.checkpoint_prefix}:staging"):
+                self.store.delete(name)
+
+    def _clear_checkpoint(self) -> None:
+        """Completion: drop checkpoint files and flush deferred deletions."""
+        for name in (f"{self.checkpoint_prefix}:staging", self._checkpoint_file):
+            if self.store.exists(name):
+                self.store.delete(name)
+        retired, self._retired = self._retired, []
+        for name in retired:
+            if self.store.exists(name):
+                self.store.delete(name)

@@ -32,10 +32,26 @@ from repro.flash.device import (
     FlashDevice,
     FlashEraseError,
     FlashError,
+    FlashOutOfSpaceError,
     FlashProgramError,
     FlashWearOutError,
 )
 from repro.flash.faults import page_crc, verify_pages
+from repro.flash.journal import (
+    JOURNAL_MAGIC,
+    SUPERBLOCK_MAGIC,
+    RecoveryStats,
+    chunked_file_records,
+    decode_frame,
+    encode_frame,
+    encode_frames,
+)
+
+#: Durable mode reserves these two blocks as the superblock ping-pong pair.
+SUPERBLOCK_BLOCKS = (0, 1)
+#: Pages per journal commit record: bounds the record's JSON size so it
+#: always fits one journal frame, whatever the append size.
+COMMIT_CHUNK_PAGES = 128
 
 
 class FlashFile:
@@ -77,18 +93,45 @@ class AppendOnlyFlashFS:
     tracked in ``prefetch_waste_bytes``.
     """
 
-    def __init__(self, device: FlashDevice, prefetch_pages: int = 2):
+    def __init__(self, device: FlashDevice, prefetch_pages: int = 2,
+                 durable: bool = False, journal_limit_blocks: int = 8):
+        """``durable=True`` turns on crash-consistent metadata: blocks 0/1
+        become a superblock ping-pong pair, file-table mutations are logged
+        to an append-only journal chain written through the same device,
+        and construction either formats a blank device or *mounts* it —
+        replaying the journal, discarding torn tails, and rebuilding the
+        file table and free pool.  The default (``False``) keeps the
+        historical all-in-host-memory behaviour, bit-identical in timing.
+        """
         self.device = device
         self.geometry = device.geometry
         self.prefetch_pages = prefetch_pages
         self.prefetch_waste_bytes = 0
+        self.durable = durable
+        self.journal_limit_blocks = journal_limit_blocks
+        self.recovery = RecoveryStats()
         self._files: dict[str, FlashFile] = {}
-        # Min-heap of (erase count at release time, block): wear-leveled
-        # allocation without FTL machinery.
-        self._free_blocks: list[tuple[int, int]] = [
-            (0, block) for block in range(self.geometry.num_blocks)]
-        heapq.heapify(self._free_blocks)
+        self._free_blocks: list[tuple[int, int]] = []
         self.total_appended_bytes = 0
+        if durable:
+            if self.geometry.num_blocks < 4:
+                raise FlashError("durable AOFFS needs at least 4 blocks")
+            self._pending_records: list[dict] = []
+            self._journal_blocks: list[int] = []
+            self._journal_seq = 0
+            self._generation = 0
+            self._sb_active: int | None = None
+            found = self._read_superblock()
+            if found is None:
+                self._format()
+            else:
+                self._mount(found)
+        else:
+            # Min-heap of (erase count at release time, block): wear-leveled
+            # allocation without FTL machinery.
+            self._free_blocks = [
+                (0, block) for block in range(self.geometry.num_blocks)]
+            heapq.heapify(self._free_blocks)
 
     def _charge_prefetch(self, f: FlashFile, first_page: int, pages_read: int) -> None:
         """Charge the unused tail of the lookahead buffer on a small read.
@@ -117,12 +160,19 @@ class AppendOnlyFlashFS:
     def size(self, name: str) -> int:
         return self._file(name).size
 
+    def is_sealed(self, name: str) -> bool:
+        return self._file(name).sealed
+
     @property
     def free_bytes(self) -> int:
         return len(self._free_blocks) * self.geometry.block_bytes
 
-    def _allocate_block(self) -> int:
+    def _allocate_block(self, why: str = "data") -> int:
         """Wear-leveled allocation: the least-erased free block wins."""
+        if not self._free_blocks:
+            raise FlashOutOfSpaceError(
+                f"AOFFS out of space allocating a {why} block: free pool "
+                f"exhausted (bad blocks: {self.device.bad_block_count})")
         _wear, block = heapq.heappop(self._free_blocks)
         return block
 
@@ -146,6 +196,8 @@ class AppendOnlyFlashFS:
         if name in self._files:
             raise FileExistsError(f"AOFFS file {name!r} already exists")
         self._files[name] = FlashFile(name, self.geometry.page_bytes)
+        self._log({"op": "create", "name": name})
+        self._commit_log()
 
     def append(self, name: str, data: bytes) -> None:
         """Append bytes to a file, creating it if needed.
@@ -153,10 +205,14 @@ class AppendOnlyFlashFS:
         Complete pages are streamed to flash immediately (batched, so device
         latency is amortized over the whole call); the final partial page
         stays in the host tail buffer until more data arrives or the file is
-        sealed.
+        sealed.  In durable mode the journal commit record is written *after*
+        the data pages land (write-ahead for deletes, write-behind for data):
+        a crash in between leaves fully-programmed but unreferenced pages
+        that mount discards.
         """
         if name not in self._files:
-            self.create(name)
+            self._files[name] = FlashFile(name, self.geometry.page_bytes)
+            self._log({"op": "create", "name": name})
         f = self._files[name]
         if f.sealed:
             raise FlashError(f"append to sealed AOFFS file {name!r}")
@@ -166,6 +222,7 @@ class AppendOnlyFlashFS:
         f.size += len(data)
         self.total_appended_bytes += len(data)
         self._flush_full_pages(f)
+        self._commit_log()
 
     def _flush_full_pages(self, f: FlashFile) -> None:
         page_bytes = self.geometry.page_bytes
@@ -178,9 +235,8 @@ class AppendOnlyFlashFS:
         # the identical wear-leveled allocation sequence the per-page path
         # produced.
         last_block_index = (first + n_full - 1) // pages_per_block
+        prior_blocks = len(f.blocks)
         while len(f.blocks) <= last_block_index:
-            if not self._free_blocks:
-                raise FlashError(f"AOFFS out of space appending to {f.name!r}")
             f.blocks.append(self._allocate_block())
         flush_bytes = n_full * page_bytes
         blob = f.tail_bytes()
@@ -199,6 +255,20 @@ class AppendOnlyFlashFS:
         f.tail_parts = [remainder] if remainder else []
         f.tail_len -= flush_bytes
         f.flushed_pages += n_full
+        if self.durable:
+            # Bounded commit records: a multi-megabyte append would list
+            # thousands of pages, which no single journal frame can hold.
+            # ``flushed`` is absolute and blocks/crcs extend on replay, so
+            # a chunk sequence is equivalent — and a crash mid-sequence
+            # recovers a consistent prefix of the flush.
+            next_block = prior_blocks
+            for cs in range(first, first + n_full, COMMIT_CHUNK_PAGES):
+                ce = min(cs + COMMIT_CHUNK_PAGES, first + n_full)
+                hi_block = (ce - 1) // pages_per_block + 1
+                self._log({"op": "commit", "name": f.name, "flushed": ce,
+                           "blocks": f.blocks[next_block:hi_block],
+                           "crcs": f.page_crcs[cs:ce]})
+                next_block = hi_block
 
     def seal(self, name: str) -> None:
         """Flush the tail (padded to a page) and make the file immutable."""
@@ -208,12 +278,21 @@ class AppendOnlyFlashFS:
         if f.tail_len:
             tail = f.tail_bytes()
             padded = tail + b"\x00" * (self.geometry.page_bytes - len(tail))
+            prior_blocks = len(f.blocks)
+            prior_crcs = len(f.page_crcs)
             block, page = self._physical_addr(f, f.flushed_pages, allocate=True)
             self._program_pages(f, [(block, page, padded)])
             f.tail_parts = []
             f.tail_len = 0
             f.flushed_pages += 1
+            if self.durable:
+                self._log({"op": "commit", "name": f.name,
+                           "flushed": f.flushed_pages,
+                           "blocks": f.blocks[prior_blocks:],
+                           "crcs": f.page_crcs[prior_crcs:]})
         f.sealed = True
+        self._log({"op": "seal", "name": name, "size": f.size})
+        self._commit_log()
 
     def _program_pages(self, f: FlashFile, writes: list[tuple[int, int, bytes]]) -> None:
         """Program pages, surviving program failures by block remapping.
@@ -238,7 +317,7 @@ class AppendOnlyFlashFS:
                 fresh = self._remap_bad_block(f, bad)
                 pending = [(fresh if b == bad else b, p, d)
                            for b, p, d in pending[committed:]]
-        if self.device.faults is not None:
+        if self.device.faults is not None or self.durable:
             f.page_crcs.extend(page_crc(d) for _b, _p, d in writes)
 
     def _remap_bad_block(self, f: FlashFile, bad: int) -> int:
@@ -261,6 +340,7 @@ class AppendOnlyFlashFS:
             except FlashProgramError:
                 continue  # the replacement died too; try another spare
         f.blocks[f.blocks.index(bad)] = fresh
+        self._log({"op": "remap", "name": f.name, "bad": bad, "fresh": fresh})
         return fresh
 
     def _physical_addr(self, f: FlashFile, page_index: int, allocate: bool = False) -> tuple[int, int]:
@@ -269,8 +349,6 @@ class AppendOnlyFlashFS:
         if block_index >= len(f.blocks):
             if not allocate:
                 raise FlashError(f"page {page_index} beyond end of file {f.name!r}")
-            if not self._free_blocks:
-                raise FlashError(f"AOFFS out of space appending to {f.name!r}")
             f.blocks.append(self._allocate_block())
         return f.blocks[block_index], page
 
@@ -357,23 +435,396 @@ class AppendOnlyFlashFS:
 
         Erases run in the background: with block-per-file allocation there
         is never data to relocate, so the device pipelines reclamation
-        behind foreground traffic (unlike FTL garbage collection).
+        behind foreground traffic (unlike FTL garbage collection).  In
+        durable mode the journal records the delete *before* the erases: a
+        crash mid-reclamation leaves unreferenced blocks that mount scrubs.
         """
         f = self._file(name)
-        for block in f.blocks:
+        # The table mutation precedes the commit so a compaction fired
+        # inside it snapshots the post-delete state.
+        self._log({"op": "delete", "name": name})
+        del self._files[name]
+        self._commit_log()
+        self._erase_into_pool(f.blocks)
+
+    def _erase_into_pool(self, blocks: list[int]) -> None:
+        for block in blocks:
             try:
                 if not self.device.block_is_erased(block):
                     self.device.erase_block(block, background=True)
             except FlashEraseError:
                 continue  # block retired: it never rejoins the free pool
             self._release_block(block)
-        del self._files[name]
 
-    def rename(self, old: str, new: str) -> None:
-        """Rename a file (metadata only, no flash traffic)."""
-        if new in self._files:
-            raise FileExistsError(f"AOFFS file {new!r} already exists")
+    def rename(self, old: str, new: str, overwrite: bool = False) -> None:
+        """Rename a file (metadata only, no flash traffic).
+
+        With ``overwrite=True`` an existing target is atomically replaced:
+        the delete and the rename land in one journal commit, so after any
+        crash the target is either entirely the old file or entirely the
+        new one — the primitive checkpoint publication relies on.
+        """
         f = self._file(old)
+        victim = None
+        if new in self._files and new != old:
+            if not overwrite:
+                raise FileExistsError(f"AOFFS file {new!r} already exists")
+            victim = self._files[new]
+            self._log({"op": "delete", "name": new})
+        elif new in self._files:
+            raise FileExistsError(f"AOFFS file {new!r} already exists")
+        self._log({"op": "rename", "old": old, "new": new})
         f.name = new
-        self._files[new] = f
         del self._files[old]
+        self._files[new] = f
+        self._commit_log()
+        if victim is not None:
+            self._erase_into_pool(victim.blocks)
+
+    # ----------------------------------------------------- durable metadata
+
+    def _log(self, *records: dict) -> None:
+        """Buffer journal records for the current public call (no-op unless
+        durable)."""
+        if self.durable:
+            self._pending_records.extend(records)
+
+    def _commit_log(self) -> None:
+        """Flush buffered records as journal frames, then maybe compact."""
+        if not self.durable or not self._pending_records:
+            return
+        records, self._pending_records = self._pending_records, []
+        frames = encode_frames(JOURNAL_MAGIC, self._journal_seq, records,
+                               self.geometry.page_bytes)
+        self._journal_seq += len(frames)
+        for frame in frames:
+            self._journal_write(frame)
+        if len(self._journal_blocks) > self.journal_limit_blocks:
+            self._compact_journal()
+
+    def _journal_write(self, frame: bytes) -> None:
+        while True:
+            block = self._journal_blocks[-1]
+            page = self.device.programmed_pages(block)
+            if page >= self.geometry.pages_per_block - 1:
+                # The last page of every journal block is reserved for the
+                # chain-extension record.
+                self._journal_extend()
+                continue
+            try:
+                self.device.write_page(block, page, frame)
+                return
+            except FlashProgramError:
+                # The journal block went bad mid-write; its surviving frames
+                # stay readable but nothing more can be appended (including
+                # an extend record), so start a fresh tail and re-point the
+                # superblock at the full chain.
+                self._journal_blocks.append(self._allocate_block("journal"))
+                self._write_superblock()
+
+    def _journal_extend(self) -> None:
+        block = self._journal_blocks[-1]
+        fresh = self._allocate_block("journal")
+        if self.device.programmed_pages(block) >= self.geometry.pages_per_block:
+            # A power loss tore a previous extend attempt: the reserved
+            # last page is consumed by garbage no replay can read, so the
+            # chain can only continue through a fresh superblock generation.
+            self._journal_blocks.append(fresh)
+            self._write_superblock()
+            return
+        frame = encode_frame(JOURNAL_MAGIC, self._journal_seq,
+                             [{"op": "extend", "block": fresh}],
+                             self.geometry.page_bytes)
+        self._journal_seq += 1
+        try:
+            self.device.write_page(
+                block, self.geometry.pages_per_block - 1, frame)
+            self._journal_blocks.append(fresh)
+        except FlashProgramError:
+            self._journal_blocks.append(fresh)
+            self._write_superblock()
+
+    def _compact_journal(self) -> None:
+        """Snapshot the file table into a fresh journal chain.
+
+        Crash-safe by construction: the old chain stays intact until the
+        new superblock generation lands, so a crash at any point replays
+        either the old chain or the new snapshot — both describe the same
+        durable state (unflushed host tails are never journaled).
+        """
+        old_chain = self._journal_blocks
+        records: list[dict] = []
+        for name in sorted(self._files):
+            f = self._files[name]
+            records.extend(chunked_file_records(
+                name, f.size, f.flushed_pages, f.sealed, f.blocks,
+                f.page_crcs))
+        self._journal_blocks = [self._allocate_block("journal")]
+        frames = encode_frames(JOURNAL_MAGIC, self._journal_seq, records,
+                               self.geometry.page_bytes)
+        self._journal_seq += len(frames)
+        for frame in frames:
+            self._journal_write(frame)
+        self._write_superblock()
+        self._erase_into_pool([b for b in old_chain
+                               if b not in self._journal_blocks])
+
+    # -------------------------------------------------- superblock handling
+
+    def _read_superblock(self) -> dict | None:
+        """Latest valid superblock record across the ping-pong pair."""
+        best = None
+        for block in SUPERBLOCK_BLOCKS:
+            if self.device.is_bad(block):
+                continue
+            for page in range(self.device.programmed_pages(block)):
+                if self.device.page_state(block, page) != 1:  # PAGE_VALID
+                    continue
+                try:
+                    raw = self.device.read_page(block, page)
+                except FlashError:
+                    continue
+                decoded = decode_frame(SUPERBLOCK_MAGIC, raw)
+                if decoded is None:
+                    continue
+                generation, records = decoded
+                if records and (best is None or generation > best[0]):
+                    best = (generation, records[0], block)
+        if best is None:
+            return None
+        self._generation = best[0]
+        self._sb_active = best[2]
+        return best[1]
+
+    def _write_superblock(self) -> None:
+        self._generation += 1
+        frame = encode_frame(SUPERBLOCK_MAGIC, self._generation,
+                             [{"journal": self._journal_blocks}],
+                             self.geometry.page_bytes)
+        first = (1 - self._sb_active) if self._sb_active is not None \
+            else SUPERBLOCK_BLOCKS[0]
+        for target in (first, 1 - first):
+            if self.device.is_bad(target):
+                continue
+            try:
+                if self.device.programmed_pages(target) >= \
+                        self.geometry.pages_per_block:
+                    if target == self._sb_active:
+                        continue  # never erase the only valid copy
+                    self.device.erase_block(target)
+                self.device.write_page(
+                    target, self.device.programmed_pages(target), frame)
+                self._sb_active = target
+                return
+            except (FlashProgramError, FlashEraseError):
+                continue
+        raise FlashWearOutError("both AOFFS superblock slots have failed")
+
+    # -------------------------------------------------------- format / mount
+
+    def _format(self) -> None:
+        """Initialize a blank (or crashed-before-first-superblock) device."""
+        for block in SUPERBLOCK_BLOCKS:
+            if not self.device.is_bad(block) and \
+                    not self.device.block_is_erased(block):
+                self.device.erase_block(block)
+        self._free_blocks = []
+        for block in range(len(SUPERBLOCK_BLOCKS), self.geometry.num_blocks):
+            if self.device.is_bad(block):
+                continue
+            if not self.device.block_is_erased(block):
+                self.device.erase_block(block)
+            self._free_blocks.append(
+                (self.device.erase_counts[block], block))
+        heapq.heapify(self._free_blocks)
+        self._journal_blocks = [self._allocate_block("journal")]
+        self._write_superblock()
+
+    def _mount(self, superblock: dict) -> None:
+        """Rebuild the file table and free pool from the on-flash journal.
+
+        The free pool must exist before :meth:`_fix_tails` runs — relocating
+        committed pages off a dirty block allocates fresh blocks.  Dirty
+        blocks still belong to their files at rebuild time, so the pool
+        complement never hands one out early.
+        """
+        self.recovery.mounts += 1
+        self._replay_journal(list(superblock.get("journal", [])))
+        self._rebuild_free_pool()
+        self._fix_tails()
+        if not self._journal_blocks:
+            self._journal_blocks = [self._allocate_block("journal")]
+            self._write_superblock()
+
+    def _replay_journal(self, chain: list[int]) -> None:
+        frames: list[tuple[int, list[dict]]] = []
+        seen = set(chain)
+        i = 0
+        while i < len(chain):
+            block = chain[i]
+            i += 1
+            if not 0 <= block < self.geometry.num_blocks:
+                continue
+            for page in range(self.device.programmed_pages(block)):
+                if self.device.page_state(block, page) != 1:  # PAGE_VALID
+                    continue
+                try:
+                    raw = self.device.read_page(block, page)
+                except FlashError:
+                    self.recovery.torn_frames += 1
+                    continue
+                decoded = decode_frame(JOURNAL_MAGIC, raw)
+                if decoded is None:
+                    self.recovery.torn_frames += 1
+                    continue
+                frames.append(decoded)
+                for record in decoded[1]:
+                    if record.get("op") == "extend" and \
+                            record["block"] not in seen:
+                        seen.add(record["block"])
+                        chain.append(record["block"])
+        self._journal_blocks = chain
+        frames.sort(key=lambda item: item[0])
+        applied = set()
+        for seq, records in frames:
+            if seq in applied:
+                continue
+            applied.add(seq)
+            self.recovery.replayed_frames += 1
+            for record in records:
+                self._apply_record(record)
+                self.recovery.replayed_records += 1
+        self._journal_seq = (max(applied) + 1) if applied else 0
+        self.recovery.recovered_files += len(self._files)
+
+    def _apply_record(self, r: dict) -> None:
+        op = r.get("op")
+        files = self._files
+        if op == "create":
+            files.setdefault(r["name"],
+                             FlashFile(r["name"], self.geometry.page_bytes))
+        elif op == "commit":
+            f = files.setdefault(r["name"],
+                                 FlashFile(r["name"], self.geometry.page_bytes))
+            f.blocks.extend(r["blocks"])
+            f.flushed_pages = r["flushed"]
+            f.size = r["flushed"] * self.geometry.page_bytes
+            f.page_crcs.extend(r["crcs"])
+        elif op == "seal":
+            if r["name"] in files:
+                f = files[r["name"]]
+                f.sealed = True
+                f.size = r["size"]
+        elif op == "delete":
+            files.pop(r["name"], None)
+        elif op == "rename":
+            if r["old"] in files:
+                f = files.pop(r["old"])
+                f.name = r["new"]
+                files[r["new"]] = f
+        elif op == "remap":
+            f = files.get(r["name"])
+            if f is not None and r["bad"] in f.blocks:
+                f.blocks[f.blocks.index(r["bad"])] = r["fresh"]
+        elif op == "file":
+            f = FlashFile(r["name"], self.geometry.page_bytes)
+            f.blocks = list(r["blocks"])
+            f.page_crcs = list(r["crcs"])
+            f.flushed_pages = r["flushed"]
+            f.size = r["size"]
+            f.sealed = r["sealed"]
+            files[r["name"]] = f
+        elif op == "filex":
+            if r["name"] in files:
+                f = files[r["name"]]
+                f.blocks.extend(r["blocks"])
+                f.page_crcs.extend(r["crcs"])
+        # "extend" records steer chain discovery and are no-ops here.
+
+    def _fix_tails(self) -> None:
+        """Discard uncommitted state the crash left behind.
+
+        Unsealed files lose their host tail buffer by definition (size
+        snaps back to the committed page count).  A file's last block may
+        additionally hold pages programmed by an append whose commit record
+        never landed — including a torn page — so any pages beyond the
+        committed count make the block *dirty*: the committed pages are
+        relocated onto a fresh block (verified against their journaled
+        CRCs) and the dirty block is scrubbed.
+        """
+        ppb = self.geometry.pages_per_block
+        for f in list(self._files.values()):
+            if not f.sealed:
+                committed = f.flushed_pages * self.geometry.page_bytes
+                if f.size != committed:
+                    f.size = committed
+                    self.recovery.truncated_files += 1
+                f.tail_parts = []
+                f.tail_len = 0
+            if not f.blocks:
+                continue
+            last = f.blocks[-1]
+            expected = f.flushed_pages - (len(f.blocks) - 1) * ppb
+            actual = self.device.programmed_pages(last)
+            if actual <= expected:
+                continue
+            self.recovery.discarded_pages += actual - expected
+            if expected == 0:
+                f.blocks.pop()
+            else:
+                f.blocks[-1] = self._relocate_committed(f, last, expected)
+            try:
+                if not self.device.block_is_erased(last):
+                    self.device.erase_block(last)
+                    self.recovery.scrubbed_blocks += 1
+                self._release_block(last)
+            except FlashEraseError:
+                pass
+
+    def _relocate_committed(self, f: FlashFile, dirty: int,
+                            count: int) -> int:
+        """Copy the committed prefix of a dirty block onto a fresh one."""
+        pages = self.device.read_pages([(dirty, p) for p in range(count)])
+        base = (len(f.blocks) - 1) * self.geometry.pages_per_block
+        if f.page_crcs:
+            for offset, data in enumerate(pages):
+                index = base + offset
+                if index < len(f.page_crcs) and \
+                        page_crc(data) != f.page_crcs[index]:
+                    raise FlashError(
+                        f"journaled CRC mismatch on committed page {index} "
+                        f"of {f.name!r} during recovery")
+        while True:
+            fresh = self._allocate_block("relocation")
+            try:
+                self.device.write_pages(
+                    [(fresh, p, d) for p, d in enumerate(pages)])
+                break
+            except FlashProgramError:
+                continue
+        self.recovery.relocated_pages += count
+        return fresh
+
+    def _rebuild_free_pool(self) -> None:
+        """Free pool = everything not owned by a file, the journal, the
+        superblocks, or the bad-block list — scrubbed back to erased."""
+        owned: set[int] = set()
+        for f in self._files.values():
+            owned.update(f.blocks)
+        owned.update(self._journal_blocks)
+        owned.update(SUPERBLOCK_BLOCKS)
+        pool = []
+        for block in range(self.geometry.num_blocks):
+            if block in owned or self.device.is_bad(block):
+                continue
+            if not self.device.block_is_erased(block):
+                try:
+                    self.device.erase_block(block)
+                except FlashEraseError:
+                    continue
+                self.recovery.scrubbed_blocks += 1
+            pool.append((self.device.erase_counts[block], block))
+        # Merge with anything _fix_tails already released.
+        pool.extend(self._free_blocks)
+        self._free_blocks = sorted(set(pool))
+        heapq.heapify(self._free_blocks)

@@ -86,6 +86,28 @@ class FlashWearOutError(FlashError):
     """No spare capacity remains to remap around failed blocks."""
 
 
+class FlashOutOfSpaceError(FlashError):
+    """The free block/page pool is exhausted (including shrinkage from
+    retired bad blocks).  Raised by AOFFS and FTL allocation so callers can
+    distinguish "device is full" from device logic errors."""
+
+
+class PowerLossError(BaseException):
+    """Simulated whole-system power loss at a flash operation boundary.
+
+    Deliberately derives from :class:`BaseException`, *not*
+    :class:`FlashError` (nor even :class:`Exception`): when power is cut the
+    host dies instantly, so no error-recovery or cleanup handler in the
+    stack may observe, swallow, or react to it.  Only the crash harness
+    (:func:`repro.harness.run_with_crashes`) catches it, then remounts the
+    device and resumes from durable state.
+    """
+
+    def __init__(self, message: str, op_index: int | None = None):
+        super().__init__(message)
+        self.op_index = op_index
+
+
 @dataclass(frozen=True)
 class FlashGeometry:
     """Physical layout of the simulated device.
@@ -141,7 +163,7 @@ class FlashDevice:
     """
 
     def __init__(self, geometry: FlashGeometry, profile: HardwareProfile, clock: SimClock,
-                 traffic_scale: float = 1.0, faults=None):
+                 traffic_scale: float = 1.0, faults=None, crashes=None):
         """``traffic_scale`` discounts charged transfer volume for devices
         whose datapath stores records densely bit-packed (Fig 7): GraFBoost
         packs key-value pairs into 256-bit words, so each aligned byte the
@@ -153,6 +175,14 @@ class FlashDevice:
         seeded :class:`~repro.flash.faults.FaultInjector` (ECC, read-retry,
         program/erase failures, latency jitter).  ``None`` — and a plan with
         all rates zero — leave the device's behaviour and timing untouched.
+
+        ``crashes`` is an optional :class:`~repro.flash.faults.CrashPlan`:
+        a seeded schedule of power-loss points expressed as global flash
+        operation indices.  When the device reaches a scheduled op it kills
+        the host mid-operation — possibly leaving a *torn* page — by
+        raising :class:`PowerLossError`.  The op counter is device-lifetime
+        global, so it keeps advancing across remounts and a finite schedule
+        always drains.  ``None`` adds zero overhead and zero RNG draws.
         """
         if not 0 < traffic_scale <= 1:
             raise ValueError(f"traffic_scale must be in (0, 1], got {traffic_scale}")
@@ -164,9 +194,19 @@ class FlashDevice:
             from repro.flash.faults import FaultInjector  # avoid import cycle
             faults = FaultInjector(faults, self)
         self.faults = faults
+        if crashes is None and faults is not None:
+            crashes = getattr(faults.plan, "crash", None)
+        if crashes is not None and not hasattr(crashes, "advance"):
+            from repro.flash.faults import PowerLossInjector
+            crashes = PowerLossInjector(crashes, self)
+        self.crashes = crashes
         n = geometry.num_blocks
         self._bad_blocks: set[int] = set()
         self._data: dict[tuple[int, int], bytes] = {}
+        # Per-page out-of-band (spare-area) metadata: real NAND pages carry a
+        # few dozen spare bytes the controller uses for logical-address tags
+        # and checksums; recovery paths scan it to rebuild mappings.
+        self._oob: dict[tuple[int, int], bytes] = {}
         # Page states live in one int8 matrix so batched writes/reads can
         # validate and update whole program-order runs with array slices.
         self._page_state = np.full((n, geometry.pages_per_block), PAGE_ERASED, dtype=np.int8)
@@ -206,6 +246,8 @@ class FlashDevice:
     def read_page(self, block: int, page: int) -> bytes:
         """Random single-page read: full access latency, one channel's share
         of the bandwidth."""
+        if self.crashes is not None and self.crashes.advance(1) is not None:
+            self.crashes.fire(f"read ({block}, {page})")
         data = self._read_silent(block, page)
         nbytes = int(len(data) * self.traffic_scale)
         seconds = self.profile.flash_read_latency_s + nbytes / self._channel_read_bw
@@ -221,6 +263,9 @@ class FlashDevice:
         """Batched/streamed read: one latency for the batch, bandwidth for all bytes."""
         if not addresses:
             return []
+        if self.crashes is not None and \
+                self.crashes.advance(len(addresses)) is not None:
+            self.crashes.fire(f"batched read of {len(addresses)} pages")
         # Group the batch into program-order runs so state validation is one
         # array-slice check per run instead of per page.
         out: list[bytes] = []
@@ -285,10 +330,18 @@ class FlashDevice:
 
     # ------------------------------------------------------------------ writes
 
-    def write_page(self, block: int, page: int, data: bytes) -> None:
-        """Program one page; enforces erase-before-write and program order."""
+    def write_page(self, block: int, page: int, data: bytes,
+                   oob: bytes | None = None) -> None:
+        """Program one page; enforces erase-before-write and program order.
+
+        ``oob`` is optional spare-area metadata programmed atomically with
+        the page (no extra time: real controllers transfer data+spare in one
+        page program).
+        """
+        if self.crashes is not None and self.crashes.advance(1) is not None:
+            self._crash_during_program(block, page, data)
         try:
-            self._write_silent(block, page, data)
+            self._write_silent(block, page, data, oob)
         except FlashProgramError:
             # A failed program is only discovered after tProg elapses.
             self.clock.charge("flash", self.profile.flash_write_latency_s)
@@ -299,10 +352,19 @@ class FlashDevice:
             seconds += self.faults.jitter_s(self.profile.flash_write_latency_s)
         self.clock.charge("flash", seconds, nbytes=nbytes)
 
-    def write_pages(self, writes: list[tuple[int, int, bytes]]) -> None:
-        """Batched sequential program: one latency for the batch."""
+    def write_pages(self, writes: list[tuple[int, int, bytes]],
+                    oobs: list[bytes | None] | None = None) -> None:
+        """Batched sequential program: one latency for the batch.
+
+        ``oobs``, when given, must parallel ``writes``: spare-area metadata
+        programmed with each page.
+        """
         if not writes:
             return
+        if self.crashes is not None:
+            hit = self.crashes.advance(len(writes))
+            if hit is not None:
+                self._crash_during_batch(writes, oobs, hit)
         # Group into program-order runs; each run is validated and committed
         # with one array-slice state update instead of per-page bookkeeping.
         i, n = 0, len(writes)
@@ -315,9 +377,11 @@ class FlashDevice:
                     p += 1
                     j += 1
                 if j - i == 1:
-                    self._write_silent(block, page0, writes[i][2])
+                    self._write_silent(block, page0, writes[i][2],
+                                       oobs[i] if oobs else None)
                 else:
-                    self._program_run(block, page0, writes[i:j])
+                    self._program_run(block, page0, writes[i:j],
+                                      oobs[i:j] if oobs else None)
                 i = j
                 done = j
         except FlashProgramError as e:
@@ -342,7 +406,65 @@ class FlashDevice:
             seconds += self.faults.jitter_s(self.profile.flash_write_latency_s)
         self.clock.charge("flash", seconds, nbytes=nbytes, ops=len(writes))
 
-    def _program_run(self, block: int, page0: int, run: list[tuple[int, int, bytes]]) -> None:
+    def _crash_during_program(self, block: int, page: int, data: bytes) -> None:
+        """Power loss hit a single-page program: maybe commit a torn page."""
+        if self._can_tear(block, page, data) and self.crashes.tears_page():
+            self._commit_torn(block, page, data)
+        self.crashes.fire(f"program ({block}, {page})")
+
+    def _crash_during_batch(self, writes, oobs, hit: int) -> None:
+        """Power loss hit page ``hit`` of a batched program.
+
+        Pages before the hit landed completely (deep-queued programs ahead
+        of the cut had already reported status); the hit page itself may be
+        committed *torn* — partially-programmed cells that read back as
+        garbage — which is exactly what per-page CRCs and OOB records exist
+        to detect at mount.  No time is charged: the host never observes
+        the operation completing.
+        """
+        for k in range(hit):
+            block, page, data = writes[k]
+            self._commit_unchecked(block, page, data,
+                                   oobs[k] if oobs else None)
+        block, page, data = writes[hit]
+        if self._can_tear(block, page, data) and self.crashes.tears_page():
+            self._commit_torn(block, page, data)
+        self.crashes.fire(f"batched program ({block}, {page})")
+
+    def _can_tear(self, block: int, page: int, data: bytes) -> bool:
+        """A torn commit only makes sense where the program would have been
+        legal; otherwise the cut simply precedes an invalid operation."""
+        return (0 <= block < self.geometry.num_blocks
+                and 0 <= page < self.geometry.pages_per_block
+                and block not in self._bad_blocks
+                and len(data) <= self.geometry.page_bytes
+                and page == self._next_program_page[block]
+                and self._page_state[block, page] == PAGE_ERASED)
+
+    def _commit_unchecked(self, block: int, page: int, data: bytes,
+                          oob: bytes | None) -> None:
+        """Commit one page of a crash-interrupted batch prefix.
+
+        The batch would have passed the normal validation; power loss skips
+        fault injection (the dead host draws nothing)."""
+        self._data[(block, page)] = data
+        if oob is not None:
+            self._oob[(block, page)] = oob
+        self._page_state[block, page] = PAGE_VALID
+        self._next_program_page[block] = page + 1
+        self.total_pages_written += 1
+
+    def _commit_torn(self, block: int, page: int, data: bytes) -> None:
+        """Commit a torn page: a corrupted prefix of the intended data with
+        garbage beyond it, no OOB (the spare area never finished)."""
+        torn = self.crashes.torn_data(data)
+        self._data[(block, page)] = torn
+        self._page_state[block, page] = PAGE_VALID
+        self._next_program_page[block] = page + 1
+        self.total_pages_written += 1
+
+    def _program_run(self, block: int, page0: int, run: list[tuple[int, int, bytes]],
+                     oobs: list[bytes | None] | None = None) -> None:
         """Program a contiguous in-order run of pages within one block.
 
         Enforces exactly the constraints of :meth:`_write_silent` — erased
@@ -376,6 +498,10 @@ class FlashDevice:
             # first program-status failure (the controller policy).
             if failed:
                 self._data.update(((block, p), d) for _, p, d in run[:failed])
+                if oobs is not None:
+                    self._oob.update(
+                        ((block, p), o) for (_, p, _), o in
+                        zip(run[:failed], oobs[:failed]) if o is not None)
                 self._page_state[block, page0:page0 + failed] = PAGE_VALID
                 self.total_pages_written += failed
             self._next_program_page[block] = page0 + failed
@@ -386,11 +512,15 @@ class FlashDevice:
             error.committed = failed
             raise error
         self._data.update(((block, p), d) for _, p, d in run)
+        if oobs is not None:
+            self._oob.update(((block, p), o) for (_, p, _), o in zip(run, oobs)
+                             if o is not None)
         self._page_state[block, page0:last + 1] = PAGE_VALID
         self._next_program_page[block] = last + 1
         self.total_pages_written += count
 
-    def _write_silent(self, block: int, page: int, data: bytes) -> None:
+    def _write_silent(self, block: int, page: int, data: bytes,
+                      oob: bytes | None = None) -> None:
         self._check_page(block, page)
         if block in self._bad_blocks:
             raise FlashProgramError(
@@ -411,6 +541,8 @@ class FlashDevice:
                 f"program failure at ({block}, {page}); block retired",
                 block=block, page=page)
         self._data[(block, page)] = data
+        if oob is not None:
+            self._oob[(block, page)] = oob
         self._page_state[block, page] = PAGE_VALID
         self._next_program_page[block] = page + 1
         self.total_pages_written += 1
@@ -424,6 +556,7 @@ class FlashDevice:
             raise FlashError(f"invalidate of non-valid page ({block}, {page})")
         self._page_state[block, page] = PAGE_INVALID
         self._data.pop((block, page), None)
+        self._oob.pop((block, page), None)
 
     # ------------------------------------------------------------------ erases
 
@@ -438,6 +571,19 @@ class FlashDevice:
         self._check_block(block)
         if block in self._bad_blocks:
             raise FlashEraseError(f"erase of retired bad block {block}", block=block)
+        if self.crashes is not None and self.crashes.advance(1) is not None:
+            # Power loss during the erase pulse: the cells either finished
+            # clearing or kept their (now half-stressed) contents; the host
+            # never saw status either way, so no time is charged.
+            if self.crashes.erase_completes():
+                self._page_state[block, :] = PAGE_ERASED
+                for page in range(self.geometry.pages_per_block):
+                    self._data.pop((block, page), None)
+                    self._oob.pop((block, page), None)
+                self._next_program_page[block] = 0
+                self.erase_counts[block] += 1
+                self.total_blocks_erased += 1
+            self.crashes.fire(f"erase of block {block}")
         if self.faults is not None:
             reason = self.faults.erase_fails(block)
             if reason is not None:
@@ -457,6 +603,7 @@ class FlashDevice:
         self._page_state[block, :] = PAGE_ERASED
         for page in range(self.geometry.pages_per_block):
             self._data.pop((block, page), None)
+            self._oob.pop((block, page), None)
         self._next_program_page[block] = 0
         self.erase_counts[block] += 1
         self.total_blocks_erased += 1
@@ -467,6 +614,43 @@ class FlashDevice:
             self.clock.charge_background("flash", seconds)
         else:
             self.clock.charge("flash", seconds)
+
+    # --------------------------------------------------------------- recovery
+
+    def read_oob(self, block: int, page: int) -> bytes | None:
+        """Spare-area metadata of a valid page (``None`` if none was ever
+        programmed — e.g. a torn page).  Free: OOB rides along with every
+        page transfer, and recovery scans charge via :meth:`mount_scan`."""
+        self._check_page(block, page)
+        if self._page_state[block, page] != PAGE_VALID:
+            raise FlashError(f"OOB read of non-valid page ({block}, {page})")
+        return self._oob.get((block, page))
+
+    def mount_scan(self) -> list[tuple[int, int, bytes | None]]:
+        """Recovery-time sweep: every valid page's ``(block, page, oob)``.
+
+        Models the controller's mount scan reading just the spare areas of
+        non-erased blocks — charged as one page-read latency per scanned
+        block (the OOB bytes themselves are noise next to the latency).
+        Retired bad blocks are included: they may still hold the only valid
+        copy of data whose relocation a crash interrupted.
+        """
+        results: list[tuple[int, int, bytes | None]] = []
+        scanned = 0
+        for block in range(self.geometry.num_blocks):
+            if not self._page_state[block].any():  # fully erased
+                continue
+            if self.crashes is not None and self.crashes.advance(1) is not None:
+                self.crashes.fire(f"mount scan of block {block}")
+            scanned += 1
+            valid = np.flatnonzero(self._page_state[block] == PAGE_VALID)
+            results.extend((block, int(p), self._oob.get((block, int(p))))
+                           for p in valid)
+        if scanned:
+            self.clock.charge("flash",
+                              scanned * self.profile.flash_read_latency_s,
+                              ops=scanned)
+        return results
 
     # ------------------------------------------------------------------- state
 

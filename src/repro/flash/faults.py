@@ -49,16 +49,21 @@ import numpy as np
 from repro.flash.device import (
     FlashError,
     FlashEraseError,
+    FlashOutOfSpaceError,
     FlashProgramError,
     FlashTransientError,
     FlashUncorrectableError,
     FlashWearOutError,
+    PowerLossError,
 )
 
 __all__ = [
     "FaultPlan",
     "FaultInjector",
     "FaultStats",
+    "CrashPlan",
+    "CrashStats",
+    "PowerLossInjector",
     "verify_pages",
     "FlashError",
     "FlashTransientError",
@@ -66,6 +71,8 @@ __all__ = [
     "FlashProgramError",
     "FlashEraseError",
     "FlashWearOutError",
+    "FlashOutOfSpaceError",
+    "PowerLossError",
 ]
 
 
@@ -84,6 +91,181 @@ _SPEC_KEYS: dict[str, tuple[str, type]] = {
     "retry_scale": ("retry_ber_scale", float),
     "silent": ("silent_corruption_p", float),
 }
+
+
+#: CLI spec keys for ``--crash seed=3,ops=5`` mapped to field name + parser.
+_CRASH_SPEC_KEYS: dict[str, tuple[str, str]] = {
+    "seed": ("seed", "int"),
+    "ops": ("crashes", "int"),
+    "first": ("first_op", "int"),
+    "gap": ("mean_gap", "float"),
+    "torn": ("torn_write_p", "float"),
+    "at": ("at_ops", "ops"),
+}
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """Seeded schedule of power-loss injection points.
+
+    Crash points are *global flash operation indices*: every page read,
+    page program, block erase, and mount-scan block counts as one op, so
+    the schedule is deterministic for a fixed workload and keeps advancing
+    across remounts (recovery itself can be crashed).  A drained schedule
+    injects nothing, which guarantees :func:`repro.harness.run_with_crashes`
+    terminates.
+    """
+
+    seed: int = 0
+    #: Number of power losses to inject (ignored when ``at_ops`` is given).
+    crashes: int = 5
+    #: Earliest eligible op index (lets the schedule skip formatting).
+    first_op: int = 50
+    #: Mean ops between consecutive losses (exponential gaps).
+    mean_gap: float = 2000.0
+    #: Probability an interrupted page program leaves a *torn* page —
+    #: partially-programmed cells committed as garbage — rather than
+    #: nothing at all.
+    torn_write_p: float = 0.5
+    #: Explicit absolute op indices; overrides the seeded drawing.
+    at_ops: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.crashes < 0:
+            raise ValueError(f"crashes must be >= 0, got {self.crashes}")
+        if self.mean_gap <= 0:
+            raise ValueError(f"mean_gap must be > 0, got {self.mean_gap}")
+        if not 0.0 <= self.torn_write_p <= 1.0:
+            raise ValueError(
+                f"torn_write_p must be in [0, 1], got {self.torn_write_p}")
+        if any(op < 0 for op in self.at_ops):
+            raise ValueError("at_ops indices must be >= 0")
+
+    def schedule(self) -> list[int]:
+        """Sorted absolute op indices at which power is cut."""
+        if self.at_ops:
+            return sorted({int(op) for op in self.at_ops})
+        if self.crashes == 0:
+            return []
+        rng = np.random.default_rng(self.seed)
+        gaps = 1.0 + rng.exponential(self.mean_gap, size=self.crashes)
+        return sorted({int(op) for op in self.first_op + np.cumsum(gaps)})
+
+    @staticmethod
+    def parse(spec: str) -> "CrashPlan":
+        """Build a plan from a ``key=value,...`` CLI spec.
+
+        Keys: ``seed``, ``ops`` (number of losses), ``first``, ``gap``,
+        ``torn``, and ``at`` (explicit ``/``-separated op indices).
+
+        >>> CrashPlan.parse("seed=3,ops=7").crashes
+        7
+        >>> CrashPlan.parse("at=10/250/9000").at_ops
+        (10, 250, 9000)
+        """
+        kwargs: dict[str, object] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(f"crash spec entry {part!r} is not key=value")
+            key, _, raw = part.partition("=")
+            key = key.strip()
+            if key not in _CRASH_SPEC_KEYS:
+                known = ", ".join(sorted(_CRASH_SPEC_KEYS))
+                raise ValueError(f"unknown crash spec key {key!r}; known: {known}")
+            field, kind = _CRASH_SPEC_KEYS[key]
+            try:
+                if kind == "ops":
+                    kwargs[field] = tuple(int(float(x)) for x in raw.split("/"))
+                elif kind == "int":
+                    kwargs[field] = int(float(raw))
+                else:
+                    kwargs[field] = float(raw)
+            except ValueError as exc:
+                raise ValueError(f"bad value {raw!r} for crash key {key!r}") from exc
+        return CrashPlan(**kwargs)
+
+
+@dataclass
+class CrashStats:
+    """Observable outcome counters of one device's power-loss injector."""
+
+    power_losses: int = 0
+    torn_writes: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+class PowerLossInjector:
+    """Runtime crash state for one :class:`~repro.flash.device.FlashDevice`.
+
+    Lives on the *device* (the hardware), so it survives every host
+    remount: the op counter and remaining schedule are global across the
+    crash → mount → resume loop.  The torn-write generator is separate from
+    the fault injector's so attaching a crash plan never perturbs fault
+    determinism.
+    """
+
+    def __init__(self, plan: CrashPlan, device) -> None:
+        self.plan = plan
+        self.device = device
+        self.stats = CrashStats()
+        self._pending = list(plan.schedule())  # sorted; consumed from front
+        self._rng = np.random.default_rng(np.random.SeedSequence([plan.seed, 0x51A5]))
+        self.op_index = 0
+
+    @property
+    def exhausted(self) -> bool:
+        """No losses remain: the system is guaranteed to run to completion."""
+        return not self._pending
+
+    def advance(self, count: int = 1) -> int | None:
+        """Advance the global op counter by ``count`` ops.
+
+        Returns the offset within ``[0, count)`` of a scheduled power loss,
+        or ``None``.  The caller applies partial effects up to the offset
+        and then :meth:`fire`\\ s.  On a hit the counter stops at the
+        interrupted op — the rest of the batch never executed — so every
+        later scheduled point stays in the future and fires on its own.
+        """
+        start = self.op_index
+        self.op_index += count
+        if self._pending and self._pending[0] < self.op_index:
+            offset = max(0, self._pending[0] - start)
+            self.op_index = start + offset + 1
+            return offset
+        return None
+
+    def fire(self, where: str) -> None:
+        """Cut power: consume the due crash point(s) and kill the host."""
+        while self._pending and self._pending[0] < self.op_index:
+            self._pending.pop(0)
+        self.stats.power_losses += 1
+        raise PowerLossError(
+            f"simulated power loss during {where} "
+            f"(flash op #{self.op_index - 1})", op_index=self.op_index - 1)
+
+    # The interrupted-operation physics below draw from the injector's own
+    # seeded generator, in schedule order — deterministic per (plan, workload).
+
+    def tears_page(self) -> bool:
+        """Does the interrupted program leave a torn (committed-garbage) page?"""
+        return float(self._rng.random()) < self.plan.torn_write_p
+
+    def torn_data(self, data: bytes) -> bytes:
+        """A torn page: an intact prefix, then garbage where programming
+        stopped mid-cell."""
+        keep = int(len(data) * float(self._rng.random()))
+        tail = self._rng.integers(0, 256, size=len(data) - keep, dtype=np.uint8)
+        self.stats.torn_writes += 1
+        return bytes(data[:keep]) + tail.tobytes()
+
+    def erase_completes(self) -> bool:
+        """Did an interrupted erase pulse finish clearing the cells?"""
+        return bool(self._rng.random() < 0.5)
 
 
 @dataclass(frozen=True)
@@ -122,6 +304,10 @@ class FaultPlan:
     #: (ECC miscorrection) instead of an error — the case the file-store
     #: checksums exist to catch.
     silent_corruption_p: float = 0.0
+    #: Optional power-loss schedule riding along with the fault plan; the
+    #: device builds a :class:`PowerLossInjector` from it exactly as if it
+    #: were passed as ``crashes=`` directly.  ``None`` adds nothing.
+    crash: CrashPlan | None = None
 
     def __post_init__(self) -> None:
         for field in ("read_ber", "program_fail_p", "erase_fail_p",

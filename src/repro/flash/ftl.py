@@ -10,10 +10,14 @@ the ablation benchmark measures directly.
 
 from __future__ import annotations
 
+import struct
+import zlib
+
 from repro.flash.device import (
     FlashDevice,
     FlashEraseError,
     FlashError,
+    FlashOutOfSpaceError,
     FlashProgramError,
     FlashWearOutError,
 )
@@ -23,6 +27,10 @@ from repro.flash.device import (
 #: is one of the stated benefits of AOFFS (§IV-A, §V-C.3).
 DEFAULT_FTL_OVERHEAD_S = 40e-6
 
+#: Per-page spare-area record in durable mode: logical page number, global
+#: write sequence number (newest copy wins at mount), payload CRC-32.
+OOB_RECORD = struct.Struct("<QQI")
+
 
 class PageMappedFTL:
     """Logical-page to physical-page translation with greedy GC.
@@ -30,12 +38,21 @@ class PageMappedFTL:
     ``overprovision`` reserves a fraction of physical blocks so GC always has
     somewhere to relocate valid pages; the usable logical capacity shrinks
     accordingly, like a real SSD.
+
+    ``durable=True`` tags every programmed page with an OOB record
+    (:data:`OOB_RECORD`) so the logical-to-physical map — which lives in
+    controller RAM and dies with power — can be rebuilt by
+    :meth:`mount`: scan valid pages' spare areas, keep the highest write
+    sequence number per logical page, and drop torn pages (their spare area
+    never finished programming).
     """
 
-    def __init__(self, device: FlashDevice, overprovision: float = 0.08, gc_reserve_blocks: int = 2):
+    def __init__(self, device: FlashDevice, overprovision: float = 0.08,
+                 gc_reserve_blocks: int = 2, durable: bool = False):
         if not 0 < overprovision < 1:
             raise ValueError(f"overprovision must be in (0, 1), got {overprovision}")
         self.device = device
+        self.durable = durable
         geometry = device.geometry
         usable_blocks = int(geometry.num_blocks * (1 - overprovision))
         if usable_blocks < 1:
@@ -56,9 +73,73 @@ class PageMappedFTL:
         self._active_block: int | None = None
         self._active_page = 0
         self._in_gc = False
+        self._write_seq = 0
         self.user_pages_written = 0
         self.gc_relocations = 0
         self.gc_runs = 0
+
+    def _make_oob(self, lpn: int, data) -> bytes | None:
+        if not self.durable:
+            return None
+        seq = self._write_seq
+        self._write_seq += 1
+        return OOB_RECORD.pack(lpn, seq, zlib.crc32(data))
+
+    @classmethod
+    def mount(cls, device: FlashDevice, overprovision: float = 0.08,
+              gc_reserve_blocks: int = 2) -> "PageMappedFTL":
+        """Rebuild the mapping table from per-page OOB records after power
+        loss.
+
+        The newest write sequence number wins per logical page — which
+        resolves the crash window between programming a page's new copy and
+        invalidating its old one (both copies are valid on flash; real FTLs
+        face exactly this at every update).  Pages without a parseable OOB
+        record (torn programs) and superseded old copies are invalidated so
+        GC can reclaim them.
+        """
+        ftl = cls(device, overprovision=overprovision,
+                  gc_reserve_blocks=gc_reserve_blocks, durable=True)
+        best: dict[int, tuple[int, tuple[int, int]]] = {}
+        stale: list[tuple[int, int]] = []
+        max_seq = -1
+        for block, page, oob in device.mount_scan():
+            if oob is None or len(oob) != OOB_RECORD.size:
+                stale.append((block, page))
+                continue
+            lpn, seq, _crc = OOB_RECORD.unpack(oob)
+            if not 0 <= lpn < ftl.logical_pages:
+                stale.append((block, page))
+                continue
+            max_seq = max(max_seq, seq)
+            prev = best.get(lpn)
+            if prev is None or seq > prev[0]:
+                if prev is not None:
+                    stale.append(prev[1])
+                best[lpn] = (seq, (block, page))
+            else:
+                stale.append((block, page))
+        for block, page in stale:
+            device.invalidate_page(block, page)
+        for lpn, (_seq, addr) in best.items():
+            ftl._map[lpn] = addr
+            ftl._reverse[addr] = lpn
+        ftl._write_seq = max_seq + 1
+        ftl._free_blocks = [
+            block for block in range(device.geometry.num_blocks - 1, -1, -1)
+            if device.block_is_erased(block) and not device.is_bad(block)]
+        ftl._active_block = None
+        ftl._active_page = 0
+        ftl.blocks_retired = device.bad_block_count
+        ftl.spare_blocks_remaining = (
+            device.geometry.num_blocks -
+            ftl.logical_pages // device.geometry.pages_per_block -
+            device.bad_block_count)
+        if ftl.spare_blocks_remaining < 0:
+            raise FlashWearOutError(
+                "mounted device has more retired blocks than spare capacity")
+        ftl.user_pages_written = len(best)
+        return ftl
 
     # ----------------------------------------------------------------- lookup
 
@@ -101,7 +182,8 @@ class PageMappedFTL:
         while True:
             block, page = self._allocate_page()
             try:
-                self.device.write_page(block, page, data)
+                self.device.write_page(block, page, data,
+                                       oob=self._make_oob(lpn, data))
             except FlashProgramError:
                 self._on_block_retired(block)
                 continue
@@ -128,9 +210,13 @@ class PageMappedFTL:
             block, page0 = self._active_block, self._active_page
             self._active_page += take
             batch = writes[i:i + take]
+            oobs = None
+            if self.durable:
+                oobs = [self._make_oob(lpn, data) for lpn, data in batch]
             try:
                 self.device.write_pages(
-                    [(block, page0 + j, data) for j, (_lpn, data) in enumerate(batch)])
+                    [(block, page0 + j, data) for j, (_lpn, data) in enumerate(batch)],
+                    oobs=oobs)
             except FlashProgramError as e:
                 # Pages before the failure landed and stay readable in the
                 # retired block; map them, then retry the rest elsewhere.
@@ -182,7 +268,9 @@ class PageMappedFTL:
         if len(self._free_blocks) <= self.gc_reserve_blocks and not self._in_gc:
             self._collect_garbage()
         if not self._free_blocks:
-            raise FlashError("SSD full: garbage collection found no reclaimable space")
+            raise FlashOutOfSpaceError(
+                "SSD full: garbage collection found no reclaimable space "
+                f"({self.blocks_retired} blocks retired)")
         return self._free_blocks.pop()
 
     def _on_block_retired(self, block: int) -> None:
@@ -234,7 +322,10 @@ class PageMappedFTL:
             while True:
                 new_block, new_page = self._allocate_page()
                 try:
-                    self.device.write_page(new_block, new_page, data)
+                    # Relocations re-tag the page with a fresh sequence number
+                    # so the moved copy wins over the stale one at mount time.
+                    self.device.write_page(new_block, new_page, data,
+                                           oob=self._make_oob(lpn, data))
                 except FlashProgramError:
                     self._on_block_retired(new_block)
                     continue
@@ -257,10 +348,22 @@ class SSD:
     """A commodity SSD: FTL plus per-op translation overhead charged as time."""
 
     def __init__(self, device: FlashDevice, overprovision: float = 0.08,
-                 ftl_overhead_s: float = DEFAULT_FTL_OVERHEAD_S):
+                 ftl_overhead_s: float = DEFAULT_FTL_OVERHEAD_S,
+                 durable: bool = False):
         self.device = device
-        self.ftl = PageMappedFTL(device, overprovision=overprovision)
+        self.ftl = PageMappedFTL(device, overprovision=overprovision,
+                                 durable=durable)
         self.ftl_overhead_s = ftl_overhead_s
+
+    @classmethod
+    def mount(cls, device: FlashDevice, overprovision: float = 0.08,
+              ftl_overhead_s: float = DEFAULT_FTL_OVERHEAD_S) -> "SSD":
+        """Remount after power loss: rebuild the FTL map from OOB records."""
+        ssd = cls.__new__(cls)
+        ssd.device = device
+        ssd.ftl = PageMappedFTL.mount(device, overprovision=overprovision)
+        ssd.ftl_overhead_s = ftl_overhead_s
+        return ssd
 
     @property
     def page_bytes(self) -> int:

@@ -86,7 +86,8 @@ class VertexArray:
     """``V`` on flash: default-valued until written, append-only thereafter."""
 
     def __init__(self, store, num_vertices: int, value_dtype: np.dtype,
-                 default_value, prefix: str | None = None, max_overlays: int = 8):
+                 default_value, prefix: str | None = None, max_overlays: int = 8,
+                 retire=None):
         if num_vertices < 1:
             raise ValueError(f"num_vertices must be >= 1, got {num_vertices}")
         if max_overlays < 1:
@@ -97,6 +98,11 @@ class VertexArray:
         self.default_value = default_value
         self.prefix = prefix or f"vertexdata-{next(_va_counter)}"
         self.max_overlays = max_overlays
+        # Compaction normally deletes superseded files immediately; a
+        # checkpointing engine passes ``retire`` so files the last durable
+        # checkpoint still references outlive the compaction that obsoleted
+        # them (they are deleted once the next checkpoint lands).
+        self._discard = retire if retire is not None else store.delete
         self._base_generation = 0
         self._base_materialized = False
         self._overlays: list[Overlay] = []
@@ -182,13 +188,65 @@ class VertexArray:
             self.store.append(new_name, records.tobytes())
         self.store.seal(new_name)
         if self._base_materialized:
-            self.store.delete(self._base_file)
+            self._discard(self._base_file)
         for overlay in self._overlays:
-            self.store.delete(overlay.name)
+            self._discard(overlay.name)
         self._overlays = []
         self._base_generation = new_generation
         self._base_materialized = True
         self.compactions += 1
+
+    # ------------------------------------------------------------- checkpoints
+
+    def snapshot_state(self) -> dict:
+        """JSON-safe description of the on-flash state (for checkpoints).
+
+        Bloom filters are deliberately absent: they are rebuilt bit-identically
+        from the overlay files at :meth:`restore` time, since both the filter
+        geometry and the inserted key sets are functions of the file contents.
+        """
+        return {
+            "prefix": self.prefix,
+            "num_vertices": self.num_vertices,
+            "base_generation": self._base_generation,
+            "base_materialized": self._base_materialized,
+            "overlay_counter": self._overlay_counter,
+            "compactions": self.compactions,
+            "overlays": [{"name": o.name, "count": o.count,
+                          "min_key": o.min_key, "max_key": o.max_key}
+                         for o in self._overlays],
+        }
+
+    @classmethod
+    def restore(cls, store, state: dict, value_dtype: np.dtype, default_value,
+                max_overlays: int = 8, retire=None) -> "VertexArray":
+        """Reattach to checkpointed vertex data after a remount."""
+        array = cls(store, state["num_vertices"], value_dtype, default_value,
+                    prefix=state["prefix"], max_overlays=max_overlays,
+                    retire=retire)
+        array._base_generation = state["base_generation"]
+        array._base_materialized = state["base_materialized"]
+        array._overlay_counter = state["overlay_counter"]
+        array.compactions = state["compactions"]
+        dtype = _overlay_dtype(array.value_dtype)
+        item = dtype.itemsize
+        for o in state["overlays"]:
+            bloom = BloomFilter(max(64, o["count"] * 10), num_hashes=3)
+            for start in range(0, o["count"], SCAN_CHUNK_RECORDS):
+                n = min(SCAN_CHUNK_RECORDS, o["count"] - start)
+                raw = store.read(o["name"], start * item, n * item)
+                bloom.add(np.frombuffer(raw, dtype=dtype)["k"].copy())
+            array._overlays.append(Overlay(
+                name=o["name"], count=o["count"], min_key=o["min_key"],
+                max_key=o["max_key"], bloom=bloom))
+        return array
+
+    def files_on_flash(self) -> list[str]:
+        """Every store file this array currently references."""
+        files = [o.name for o in self._overlays]
+        if self._base_materialized:
+            files.append(self._base_file)
+        return files
 
     @property
     def overlay_depth(self) -> int:

@@ -37,6 +37,7 @@ from repro.baselines import (
 from repro.baselines.base import DNF_CUTOFF_UNLIMITED
 from repro.baselines.semiexternal import VERTEX_ID_SPACE
 from repro.engine.config import make_system
+from repro.flash.device import PowerLossError
 from repro.graph.csr import CSRGraph
 from repro.graph.datasets import DEFAULT_SCALE, build_graph, dataset_by_name
 from repro.perf.profiles import (
@@ -107,6 +108,13 @@ class WorkloadResult:
     uncorrectable_reads: int = 0
     checksum_recoveries: int = 0
     retired_blocks: int = 0
+    # Crash-injection outcome counters (all zero without a CrashPlan).
+    power_losses: int = 0
+    remounts: int = 0
+    torn_writes: int = 0
+    # Final vertex values (populated by run_with_crashes for divergence
+    # checks against an uninterrupted run).
+    final_values: np.ndarray | None = None
 
     @property
     def time_or_nan(self) -> float:
@@ -125,17 +133,31 @@ def run_grafboost_system(kind: str, graph: CSRGraph, algorithm: str,
                          profile: HardwareProfile | None = None,
                          dataset: str = "?", seed_root: int | None = None,
                          pagerank_iterations: int = 1,
-                         faults=None) -> WorkloadResult:
+                         faults=None, crashes=None,
+                         checkpoint_every: int = 0,
+                         durable: bool = False) -> WorkloadResult:
     """Run one of the GraFBoost-family engines on an algorithm.
 
     ``faults`` (a :class:`~repro.flash.faults.FaultPlan`) makes the run a
     seeded chaos test; its recovery counters land on the result.
+    ``crashes`` (a :class:`~repro.flash.faults.CrashPlan`) additionally
+    injects power losses; the run then goes through the
+    :func:`run_with_crashes` crash→remount→resume loop.
     """
+    if crashes is not None:
+        return run_with_crashes(kind, graph, algorithm, scale=scale,
+                                crashes=crashes,
+                                checkpoint_every=checkpoint_every,
+                                dram_bytes=dram_bytes, profile=profile,
+                                dataset=dataset, seed_root=seed_root,
+                                pagerank_iterations=pagerank_iterations,
+                                faults=faults)
     system = make_system(kind.lower(), scale, dram_bytes=dram_bytes,
                          num_vertices_hint=graph.num_vertices, profile=profile,
-                         faults=faults)
+                         faults=faults, durable=durable)
     flash_graph = system.load_graph(graph)
-    engine = system.engine_for(flash_graph, graph.num_vertices)
+    engine = system.engine_for(flash_graph, graph.num_vertices,
+                               checkpoint_every=checkpoint_every)
     root = default_root(graph) if seed_root is None else seed_root
 
     if algorithm == "pagerank":
@@ -162,6 +184,12 @@ def run_grafboost_system(kind: str, graph: CSRGraph, algorithm: str,
         flash_bytes=clock.bytes_moved("flash"),
         memory_bytes=system.memory.peak,
     )
+    _attach_injection_stats(workload, system)
+    return workload
+
+
+def _attach_injection_stats(workload: WorkloadResult, system) -> None:
+    """Copy fault/crash injector counters onto a finished result."""
     injector = system.device.faults
     if injector is not None:
         stats = injector.stats
@@ -170,6 +198,108 @@ def run_grafboost_system(kind: str, graph: CSRGraph, algorithm: str,
         workload.uncorrectable_reads = stats.uncorrectable_reads
         workload.checksum_recoveries = stats.checksum_recoveries
         workload.retired_blocks = stats.blocks_retired
+    crash_injector = system.device.crashes
+    if crash_injector is not None:
+        workload.power_losses = crash_injector.stats.power_losses
+        workload.torn_writes = crash_injector.stats.torn_writes
+
+
+def run_with_crashes(kind: str, graph: CSRGraph, algorithm: str,
+                     scale: float = DEFAULT_SCALE, crashes=None,
+                     checkpoint_every: int = 4,
+                     dram_bytes: int | None = None,
+                     profile: HardwareProfile | None = None,
+                     dataset: str = "?", seed_root: int | None = None,
+                     pagerank_iterations: int = 1,
+                     faults=None, max_remounts: int = 10_000) -> WorkloadResult:
+    """Run an algorithm under power-loss injection: crash → remount → resume.
+
+    The stack is built durable; every :class:`PowerLossError` the injector
+    raises is answered by remounting the store (journal replay and FTL
+    recovery charge real simulated time against the shared clock) and
+    re-running the algorithm, which auto-resumes from the latest
+    checkpoint.  The loop terminates because the crash schedule is finite —
+    op indices are device-lifetime, so remounts and re-execution *drain*
+    the schedule even with ``checkpoint_every=0`` — and the final vertex
+    values are bit-identical to an uninterrupted run.
+
+    Only the single-program algorithms are supported (``pagerank``,
+    ``bfs``); multi-phase drivers like betweenness centrality would need
+    per-phase checkpoint names.
+    """
+    if algorithm not in ("pagerank", "bfs"):
+        raise ValueError(
+            f"run_with_crashes supports pagerank/bfs, not {algorithm!r}")
+    system = make_system(kind.lower(), scale, dram_bytes=dram_bytes,
+                         num_vertices_hint=graph.num_vertices, profile=profile,
+                         faults=faults, crashes=crashes, durable=True)
+    remounts = 0
+
+    def remount() -> None:
+        # Recovery itself reads flash, so a power loss can interrupt the
+        # mount scan / journal replay too — just start the mount over.
+        nonlocal remounts
+        while True:
+            remounts += 1
+            if remounts > max_remounts:
+                raise RuntimeError(
+                    f"gave up after {max_remounts} remounts; crash plan or "
+                    f"checkpoint cadence leaves no forward progress")
+            try:
+                system.remount()
+                return
+            except PowerLossError:
+                continue
+
+    def scrub(prefix: str) -> None:
+        while True:
+            try:
+                for name in list(system.store.list_files()):
+                    if name.startswith(prefix):
+                        system.store.delete(name)
+                return
+            except PowerLossError:
+                remount()
+
+    start_s = system.clock.elapsed_s
+    while True:  # graph loading can crash too: scrub partials and rewrite
+        try:
+            flash_graph = system.load_graph(graph)
+            break
+        except PowerLossError:
+            remount()
+            scrub("graph:")
+    root = default_root(graph) if seed_root is None else seed_root
+
+    resumed = False
+    while True:
+        engine = system.engine_for(flash_graph, graph.num_vertices,
+                                   checkpoint_every=checkpoint_every,
+                                   auto_resume=resumed)
+        try:
+            if algorithm == "pagerank":
+                result = run_pagerank(engine, graph.num_vertices,
+                                      iterations=pagerank_iterations)
+            else:
+                result = run_bfs(engine, root)
+            break
+        except PowerLossError:
+            remount()
+            flash_graph = system.reattach_graph(flash_graph)
+            resumed = True
+
+    clock = system.clock
+    workload = WorkloadResult(
+        system=kind, algorithm=algorithm, dataset=dataset, completed=True,
+        elapsed_s=clock.elapsed_s - start_s, supersteps=result.num_supersteps,
+        traversed_edges=result.total_traversed_edges,
+        cpu_busy_s=clock.busy_s("cpu") + clock.busy_s("accel"),
+        flash_bytes=clock.bytes_moved("flash"),
+        memory_bytes=system.memory.peak,
+    )
+    workload.remounts = remounts
+    workload.final_values = result.final_values()
+    _attach_injection_stats(workload, system)
     return workload
 
 
@@ -228,7 +358,8 @@ def run_cell(system: str, graph: CSRGraph, algorithm: str,
              dataset: str = "?",
              pagerank_iterations: int = 1,
              grafboost_profile: HardwareProfile | None = None,
-             faults=None) -> WorkloadResult:
+             faults=None, crashes=None,
+             checkpoint_every: int = 0) -> WorkloadResult:
     """Dispatch one (system, algorithm) cell with shared conventions.
 
     ``server_profile`` is the host every *software* system runs on (the
@@ -249,7 +380,8 @@ def run_cell(system: str, graph: CSRGraph, algorithm: str,
         return run_grafboost_system(system, graph, algorithm, scale=scale,
                                     dataset=dataset, profile=profile,
                                     pagerank_iterations=pagerank_iterations,
-                                    faults=faults)
+                                    faults=faults, crashes=crashes,
+                                    checkpoint_every=checkpoint_every)
     return run_baseline_system(system, graph, algorithm, server_profile,
                                scale=scale, cutoff_s=cutoff_s, dataset=dataset,
                                pagerank_iterations=pagerank_iterations)

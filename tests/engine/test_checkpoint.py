@@ -1,0 +1,213 @@
+"""Superstep checkpoint/restart: cadence, auto-resume after power loss,
+sorted-run recovery, and the narrowed cleanup-path exception contract."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bfs import run_bfs
+from repro.algorithms.pagerank import run_pagerank
+from repro.core.external import ExternalSortReducer, RunHandle, recover_runs
+from repro.core.kvstream import record_dtype
+from repro.core.reduce_ops import SUM
+from repro.engine.config import make_system
+from repro.flash.device import FlashError, PowerLossError
+from repro.flash.faults import CrashPlan
+from repro.harness import run_grafboost_system, run_with_crashes
+
+SCALE = 2.0 ** -14
+ITERATIONS = 3
+
+
+def build(kind, graph, crashes=None, durable=False):
+    system = make_system(kind, SCALE, num_vertices_hint=graph.num_vertices,
+                         crashes=crashes, durable=durable)
+    flash_graph = system.load_graph(graph)
+    return system, flash_graph
+
+
+def counted_clean_run(kind, graph, algorithm="pagerank"):
+    """Uninterrupted run on an op-counting device.
+
+    Returns (final values, flash ops spent loading the graph, total ops),
+    so crash tests can aim at op indices that land inside the engine run.
+    """
+    system, flash_graph = build(kind, graph, crashes=CrashPlan(crashes=0))
+    load_ops = system.device.crashes.op_index
+    engine = system.engine_for(flash_graph, graph.num_vertices)
+    if algorithm == "pagerank":
+        result = run_pagerank(engine, graph.num_vertices,
+                              iterations=ITERATIONS)
+    else:
+        result = run_bfs(engine, root=0)
+    return result.final_values(), load_ops, system.device.crashes.op_index
+
+
+# --------------------------------------------------------------- checkpoints
+
+
+def test_checkpointing_does_not_change_results(random_graph):
+    system, flash_graph = build("grafboost", random_graph, durable=True)
+    engine = system.engine_for(flash_graph, random_graph.num_vertices,
+                               checkpoint_every=1)
+    result = run_pagerank(engine, random_graph.num_vertices,
+                          iterations=ITERATIONS)
+    plain_system, plain_graph = build("grafboost", random_graph)
+    plain = run_pagerank(
+        plain_system.engine_for(plain_graph, random_graph.num_vertices),
+        random_graph.num_vertices, iterations=ITERATIONS)
+    assert np.array_equal(result.final_values(), plain.final_values())
+    # Checkpoints are real flash traffic, cleared again on completion.
+    assert (system.clock.bytes_moved("flash")
+            > plain_system.clock.bytes_moved("flash"))
+    assert not [n for n in system.store.list_files() if n.startswith("ckpt:")]
+
+
+def test_crash_resume_from_checkpoint_is_bit_identical(random_graph):
+    clean_values, load_ops, total_ops = counted_clean_run(
+        "grafboost", random_graph)
+    # Crash late in the run: by then a checkpoint_every=1 engine has
+    # published at least one checkpoint, so resume must not start over.
+    crash_at = load_ops + int((total_ops - load_ops) * 0.9)
+    system, flash_graph = build(
+        "grafboost", random_graph,
+        crashes=CrashPlan(at_ops=(crash_at,), torn_write_p=1.0))
+    engine = system.engine_for(flash_graph, random_graph.num_vertices,
+                               checkpoint_every=1)
+    with pytest.raises(PowerLossError):
+        run_pagerank(engine, random_graph.num_vertices, iterations=ITERATIONS)
+
+    system.remount()
+    flash_graph = system.reattach_graph(flash_graph)
+    engine = system.engine_for(flash_graph, random_graph.num_vertices,
+                               checkpoint_every=1, auto_resume=True)
+    result = run_pagerank(engine, random_graph.num_vertices,
+                          iterations=ITERATIONS)
+    assert engine.resumed_from_superstep is not None
+    assert engine.resumed_from_superstep > 0
+    assert np.array_equal(result.final_values(), clean_values)
+    # Completion swept the checkpoint, its staging file, and crash orphans.
+    leftovers = [n for n in system.store.list_files()
+                 if n.startswith("ckpt:")]
+    assert leftovers == []
+
+
+def test_power_loss_is_not_swallowed_by_superstep_cleanup(random_graph):
+    """The superstep executor's ``except FlashError`` cleanup must let a
+    power loss fly through — nothing below the crash harness may absorb
+    it."""
+    _, load_ops, total_ops = counted_clean_run("grafsoft", random_graph)
+    crash_at = load_ops + (total_ops - load_ops) // 2
+    system, flash_graph = build(
+        "grafsoft", random_graph,
+        crashes=CrashPlan(at_ops=(crash_at,), torn_write_p=0.0))
+    engine = system.engine_for(flash_graph, random_graph.num_vertices)
+    with pytest.raises(PowerLossError):
+        run_pagerank(engine, random_graph.num_vertices, iterations=ITERATIONS)
+
+
+def test_run_with_crashes_harness_smoke(random_graph):
+    clean = run_grafboost_system("GraFSoft", random_graph, "bfs",
+                                 scale=SCALE, seed_root=0)
+    clean_values, load_ops, total_ops = counted_clean_run(
+        "grafsoft", random_graph, algorithm="bfs")
+    plan = CrashPlan(at_ops=(load_ops // 2, load_ops + 50,
+                             load_ops + (total_ops - load_ops) // 2),
+                     torn_write_p=0.5)
+    crashed = run_with_crashes("GraFSoft", random_graph, "bfs", scale=SCALE,
+                               crashes=plan, checkpoint_every=2, seed_root=0)
+    assert crashed.completed
+    assert crashed.power_losses == 3
+    assert crashed.remounts >= 3
+    assert np.array_equal(crashed.final_values, clean_values)
+    assert crashed.elapsed_s >= clean.elapsed_s
+
+
+# ------------------------------------------------------------- run recovery
+
+
+def test_recover_runs_adopts_sealed_and_discards_unsealed(random_graph):
+    system, _ = build("grafboost", random_graph, durable=True)
+    store = system.store
+    dtype = np.dtype(np.float64)
+    rec = np.dtype(record_dtype(dtype))
+
+    def write_run(name, n, seal):
+        records = np.zeros(n, dtype=rec)
+        store.append(name, records.tobytes())
+        if seal:
+            store.seal(name)
+
+    write_run("sr:run-2", 8, seal=True)
+    write_run("sr:run-0", 5, seal=True)
+    write_run("sr:run-1", 3, seal=False)   # died mid-write: discard
+    store.append("other:file", b"x" * 16)  # foreign prefix: untouched
+    store.seal("other:file")
+
+    recovered, discarded = recover_runs(store, "sr:", dtype)
+    assert [r.name for r in recovered] == ["sr:run-0", "sr:run-2"]  # by age
+    assert [r.num_records for r in recovered] == [5, 8]
+    assert all(r.level == 0 for r in recovered)
+    assert discarded == ["sr:run-1"]
+    assert not store.exists("sr:run-1")
+    assert store.exists("other:file")
+
+
+def test_adopted_runs_feed_a_fresh_reducer(random_graph):
+    system, _ = build("grafboost", random_graph)
+    store = system.store
+    dtype = np.dtype(np.float64)
+    rec = np.dtype(record_dtype(dtype))
+    records = np.zeros(4, dtype=rec)
+    store.append("sr:run-0", records.tobytes())
+    store.seal("sr:run-0")
+    recovered, _ = recover_runs(store, "sr:", dtype)
+
+    reducer = ExternalSortReducer(store, SUM, dtype, system.backend,
+                                  chunk_bytes=system.chunk_bytes,
+                                  name_prefix="sr")
+    reducer.adopt_runs(recovered)
+    out = reducer.finish()
+    assert out.num_records == 4
+
+
+# --------------------------------------------------- cleanup-path narrowing
+
+
+def adopted_reducer(system):
+    store = system.store
+    dtype = np.dtype(np.float64)
+    records = np.zeros(4, dtype=np.dtype(record_dtype(dtype)))
+    store.append("sr:run-0", records.tobytes())
+    store.seal("sr:run-0")
+    handle = RunHandle(store, "sr:run-0", 4, dtype)
+    reducer = ExternalSortReducer(store, SUM, dtype, system.backend,
+                                  chunk_bytes=system.chunk_bytes,
+                                  name_prefix="sr")
+    reducer.adopt_runs([handle])
+    return reducer, store
+
+
+def test_reducer_close_tolerates_flash_errors(random_graph, monkeypatch):
+    system, _ = build("grafboost", random_graph)
+    reducer, store = adopted_reducer(system)
+
+    def dying_delete(name):
+        raise FlashError("device already failing")
+
+    monkeypatch.setattr(store, "delete", dying_delete)
+    reducer.close()  # best-effort cleanup: FlashError is expected here
+
+
+def test_reducer_close_propagates_foreign_errors(random_graph, monkeypatch):
+    """The ``except FlashError`` in close() is deliberately narrow: a bug
+    (TypeError, ValueError...) in the cleanup path must surface, not be
+    eaten by best-effort error handling."""
+    system, _ = build("grafboost", random_graph)
+    reducer, store = adopted_reducer(system)
+
+    def buggy_delete(name):
+        raise ValueError("not a device failure")
+
+    monkeypatch.setattr(store, "delete", buggy_delete)
+    with pytest.raises(ValueError, match="not a device failure"):
+        reducer.close()
