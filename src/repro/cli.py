@@ -104,6 +104,10 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="N",
                      help="checkpoint engine state every N supersteps "
                           "(default: 4 when --crash is given, else off)")
+    run.add_argument("--sanitize", action="store_true",
+                     help="attach FlashSan, the runtime flash-invariant "
+                          "sanitizer, to the simulated device (GraFBoost-"
+                          "family systems; equivalent to REPRO_SANITIZE=1)")
 
     compare = sub.add_parser("compare", help="run a figure-style matrix")
     compare.add_argument("--dataset", choices=sorted(DATASETS), default="kron28")
@@ -170,6 +174,11 @@ def cmd_run(args) -> int:
             print("--crash supports pagerank and bfs (multi-phase "
                   "algorithms have no checkpoint protocol)", file=sys.stderr)
             return 2
+    if args.sanitize and args.system not in GRAFBOOST_FAMILY:
+        print(f"--sanitize only applies to the simulated flash stacks "
+              f"({', '.join(GRAFBOOST_FAMILY)}), not {args.system}",
+              file=sys.stderr)
+        return 2
     checkpoint_every = args.checkpoint_every
     if checkpoint_every is None:
         checkpoint_every = 4 if args.crashes is not None else 0
@@ -177,7 +186,8 @@ def cmd_run(args) -> int:
         cell = run_cell(args.system, graph, args.algorithm, scale=args.scale,
                         dataset=args.dataset, faults=args.faults,
                         crashes=args.crashes,
-                        checkpoint_every=checkpoint_every)
+                        checkpoint_every=checkpoint_every,
+                        sanitize=True if args.sanitize else None)
     except FlashError as e:
         print(f"{args.system} {args.algorithm}: aborted on "
               f"{type(e).__name__}: {e}", file=sys.stderr)

@@ -143,7 +143,8 @@ def make_system(kind: str, scale_factor: float = 1.0,
                 num_vertices_hint: int | None = None,
                 profile: HardwareProfile | None = None,
                 faults=None, crashes=None,
-                durable: bool = False) -> SystemConfig:
+                durable: bool = False,
+                sanitize: bool | None = None) -> SystemConfig:
     """Build one of the GraFBoost-family stacks at a given scale.
 
     ``dram_bytes`` overrides the (scaled) DRAM budget — the Fig 13 memory
@@ -156,6 +157,8 @@ def make_system(kind: str, scale_factor: float = 1.0,
     additionally injects power losses at seeded flash-op indices; it
     implies ``durable=True``, which makes the store write its metadata
     through to flash so :meth:`SystemConfig.remount` can recover it.
+    ``sanitize`` attaches FlashSan (see :mod:`repro.flash.sanitizer`) to the
+    device; ``None`` defers to the ``REPRO_SANITIZE`` environment variable.
     """
     durable = durable or crashes is not None
     if profile is None:
@@ -186,12 +189,14 @@ def make_system(kind: str, scale_factor: float = 1.0,
         backend = AcceleratorBackend(scaled, packing)
         device = FlashDevice(scaled_geometry(capacity), scaled, clock,
                              traffic_scale=backend.traffic_scale(),
-                             faults=faults, crashes=crashes)
+                             faults=faults, crashes=crashes,
+                             sanitize=sanitize)
         store = AppendOnlyFlashFS(device, durable=durable)
     else:
         backend = SoftwareBackend(scaled)
         device = FlashDevice(scaled_geometry(capacity), scaled, clock,
-                             faults=faults, crashes=crashes)
+                             faults=faults, crashes=crashes,
+                             sanitize=sanitize)
         store = SSDFileSystem(SSD(device, ftl_overhead_s=scaled.ftl_overhead_s,
                                   durable=durable),
                               durable=durable)

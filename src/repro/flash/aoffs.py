@@ -105,6 +105,10 @@ class AppendOnlyFlashFS:
         """
         self.device = device
         self.geometry = device.geometry
+        if device.sanitizer is not None:
+            # FlashSan audits every erase against the live file table,
+            # journal chain and active superblock of the registered owner.
+            device.sanitizer.track_owner(self)
         self.prefetch_pages = prefetch_pages
         self.prefetch_waste_bytes = 0
         self.durable = durable

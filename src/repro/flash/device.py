@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.flash.sanitizer import FlashSanitizer, sanitizer_enabled
 from repro.perf.clock import SimClock
 from repro.perf.profiles import HardwareProfile
 
@@ -163,7 +164,8 @@ class FlashDevice:
     """
 
     def __init__(self, geometry: FlashGeometry, profile: HardwareProfile, clock: SimClock,
-                 traffic_scale: float = 1.0, faults=None, crashes=None):
+                 traffic_scale: float = 1.0, faults=None, crashes=None,
+                 sanitize: bool | None = None):
         """``traffic_scale`` discounts charged transfer volume for devices
         whose datapath stores records densely bit-packed (Fig 7): GraFBoost
         packs key-value pairs into 256-bit words, so each aligned byte the
@@ -183,6 +185,13 @@ class FlashDevice:
         raising :class:`PowerLossError`.  The op counter is device-lifetime
         global, so it keeps advancing across remounts and a finite schedule
         always drains.  ``None`` adds zero overhead and zero RNG draws.
+
+        ``sanitize`` attaches a :class:`~repro.flash.sanitizer.FlashSanitizer`
+        (FlashSan) that shadows every committed page and raises
+        :class:`~repro.flash.sanitizer.SanitizerError` on invariant
+        violations.  ``None`` defers to the ``REPRO_SANITIZE`` environment
+        variable; the sanitizer charges no time and draws no randomness, so
+        sanitized runs stay bit-identical.
         """
         if not 0 < traffic_scale <= 1:
             raise ValueError(f"traffic_scale must be in (0, 1], got {traffic_scale}")
@@ -215,6 +224,10 @@ class FlashDevice:
         self.total_pages_written = 0
         self.total_pages_read = 0
         self.total_blocks_erased = 0
+        if sanitize is None:
+            sanitize = sanitizer_enabled()
+        self.sanitizer: FlashSanitizer | None = (
+            FlashSanitizer(self) if sanitize else None)
 
     # ------------------------------------------------------------------ checks
 
@@ -246,6 +259,8 @@ class FlashDevice:
     def read_page(self, block: int, page: int) -> bytes:
         """Random single-page read: full access latency, one channel's share
         of the bandwidth."""
+        sanitizer = self.sanitizer
+        op_start = sanitizer.op_begin() if sanitizer is not None else 0.0
         if self.crashes is not None and self.crashes.advance(1) is not None:
             self.crashes.fire(f"read ({block}, {page})")
         data = self._read_silent(block, page)
@@ -255,6 +270,8 @@ class FlashDevice:
             seconds += self.faults.jitter_s(self.profile.flash_read_latency_s)
         self.clock.charge("flash", seconds, nbytes=nbytes)
         self.total_pages_read += 1
+        if sanitizer is not None:
+            sanitizer.op_end("read_page", op_start)
         if self.faults is not None:
             data = self.faults.filter_read(block, page, data)
         return data
@@ -263,6 +280,8 @@ class FlashDevice:
         """Batched/streamed read: one latency for the batch, bandwidth for all bytes."""
         if not addresses:
             return []
+        sanitizer = self.sanitizer
+        op_start = sanitizer.op_begin() if sanitizer is not None else 0.0
         if self.crashes is not None and \
                 self.crashes.advance(len(addresses)) is not None:
             self.crashes.fire(f"batched read of {len(addresses)} pages")
@@ -289,6 +308,9 @@ class FlashDevice:
                             else "invalidated")
                     raise FlashError(
                         f"read of {kind} page ({block}, {page0 + offset})")
+                if sanitizer is not None:
+                    for q in range(page0, p + 1):
+                        sanitizer.on_read(block, q, data[(block, q)])
                 out.extend(data[(block, q)] for q in range(page0, p + 1))
             i = j
         nbytes = int(sum(len(d) for d in out) * self.traffic_scale)
@@ -300,6 +322,8 @@ class FlashDevice:
             seconds += self.faults.jitter_s(self.profile.flash_read_latency_s)
         self.clock.charge("flash", seconds, nbytes=nbytes, ops=len(addresses))
         self.total_pages_read += len(addresses)
+        if sanitizer is not None:
+            sanitizer.op_end("read_pages", op_start)
         if self.faults is not None:
             out = self.faults.filter_read_batch(addresses, out)
         return out
@@ -326,7 +350,10 @@ class FlashDevice:
             # KeyError out of the backing dict).
             kind = "erased" if state == PAGE_ERASED else "invalidated"
             raise FlashError(f"read of {kind} page ({block}, {page})")
-        return self._data[(block, page)]
+        data = self._data[(block, page)]
+        if self.sanitizer is not None:
+            self.sanitizer.on_read(block, page, data)
+        return data
 
     # ------------------------------------------------------------------ writes
 
@@ -338,6 +365,8 @@ class FlashDevice:
         the page (no extra time: real controllers transfer data+spare in one
         page program).
         """
+        sanitizer = self.sanitizer
+        op_start = sanitizer.op_begin() if sanitizer is not None else 0.0
         if self.crashes is not None and self.crashes.advance(1) is not None:
             self._crash_during_program(block, page, data)
         try:
@@ -351,6 +380,8 @@ class FlashDevice:
         if self.faults is not None:
             seconds += self.faults.jitter_s(self.profile.flash_write_latency_s)
         self.clock.charge("flash", seconds, nbytes=nbytes)
+        if sanitizer is not None:
+            sanitizer.op_end("write_page", op_start)
 
     def write_pages(self, writes: list[tuple[int, int, bytes]],
                     oobs: list[bytes | None] | None = None) -> None:
@@ -361,6 +392,8 @@ class FlashDevice:
         """
         if not writes:
             return
+        sanitizer = self.sanitizer
+        op_start = sanitizer.op_begin() if sanitizer is not None else 0.0
         if self.crashes is not None:
             hit = self.crashes.advance(len(writes))
             if hit is not None:
@@ -405,6 +438,8 @@ class FlashDevice:
         if self.faults is not None:
             seconds += self.faults.jitter_s(self.profile.flash_write_latency_s)
         self.clock.charge("flash", seconds, nbytes=nbytes, ops=len(writes))
+        if sanitizer is not None:
+            sanitizer.op_end("write_pages", op_start)
 
     def _crash_during_program(self, block: int, page: int, data: bytes) -> None:
         """Power loss hit a single-page program: maybe commit a torn page."""
@@ -447,6 +482,8 @@ class FlashDevice:
 
         The batch would have passed the normal validation; power loss skips
         fault injection (the dead host draws nothing)."""
+        if self.sanitizer is not None:
+            self.sanitizer.on_program(block, page, data, oob)
         self._data[(block, page)] = data
         if oob is not None:
             self._oob[(block, page)] = oob
@@ -458,6 +495,8 @@ class FlashDevice:
         """Commit a torn page: a corrupted prefix of the intended data with
         garbage beyond it, no OOB (the spare area never finished)."""
         torn = self.crashes.torn_data(data)
+        if self.sanitizer is not None:
+            self.sanitizer.on_program(block, page, torn, None, torn=True)
         self._data[(block, page)] = torn
         self._page_state[block, page] = PAGE_VALID
         self._next_program_page[block] = page + 1
@@ -497,6 +536,10 @@ class FlashDevice:
             # Pages before the failure landed; the block is retired at the
             # first program-status failure (the controller policy).
             if failed:
+                if self.sanitizer is not None:
+                    for k, (_, p, d) in enumerate(run[:failed]):
+                        self.sanitizer.on_program(
+                            block, p, d, oobs[k] if oobs is not None else None)
                 self._data.update(((block, p), d) for _, p, d in run[:failed])
                 if oobs is not None:
                     self._oob.update(
@@ -511,6 +554,10 @@ class FlashDevice:
                 block=block, page=page0 + failed)
             error.committed = failed
             raise error
+        if self.sanitizer is not None:
+            for k, (_, p, d) in enumerate(run):
+                self.sanitizer.on_program(
+                    block, p, d, oobs[k] if oobs is not None else None)
         self._data.update(((block, p), d) for _, p, d in run)
         if oobs is not None:
             self._oob.update(((block, p), o) for (_, p, _), o in zip(run, oobs)
@@ -540,6 +587,8 @@ class FlashDevice:
             raise FlashProgramError(
                 f"program failure at ({block}, {page}); block retired",
                 block=block, page=page)
+        if self.sanitizer is not None:
+            self.sanitizer.on_program(block, page, data, oob)
         self._data[(block, page)] = data
         if oob is not None:
             self._oob[(block, page)] = oob
@@ -549,11 +598,15 @@ class FlashDevice:
 
     # ------------------------------------------------------------ invalidation
 
-    def invalidate_page(self, block: int, page: int) -> None:
+    # Free by design: invalidation flips host/FTL metadata, no flash command
+    # is issued, so there is no time to charge.
+    def invalidate_page(self, block: int, page: int) -> None:  # repro-lint: disable=RL006
         """Mark a written page's contents dead (host/FTL metadata, no flash op)."""
         self._check_page(block, page)
         if self._page_state[block, page] != PAGE_VALID:
             raise FlashError(f"invalidate of non-valid page ({block}, {page})")
+        if self.sanitizer is not None:
+            self.sanitizer.on_invalidate(block, page)
         self._page_state[block, page] = PAGE_INVALID
         self._data.pop((block, page), None)
         self._oob.pop((block, page), None)
@@ -571,11 +624,19 @@ class FlashDevice:
         self._check_block(block)
         if block in self._bad_blocks:
             raise FlashEraseError(f"erase of retired bad block {block}", block=block)
+        sanitizer = self.sanitizer
+        op_start, busy_start = 0.0, 0.0
+        if sanitizer is not None:
+            sanitizer.on_erase(block)
+            op_start = sanitizer.op_begin()
+            busy_start = self.clock.busy_s("flash")
         if self.crashes is not None and self.crashes.advance(1) is not None:
             # Power loss during the erase pulse: the cells either finished
             # clearing or kept their (now half-stressed) contents; the host
             # never saw status either way, so no time is charged.
             if self.crashes.erase_completes():
+                if sanitizer is not None:
+                    sanitizer.on_erased(block)
                 self._page_state[block, :] = PAGE_ERASED
                 for page in range(self.geometry.pages_per_block):
                     self._data.pop((block, page), None)
@@ -600,6 +661,8 @@ class FlashDevice:
                 raise FlashEraseError(
                     f"erase failure on block {block} ({detail}); block retired",
                     block=block)
+        if sanitizer is not None:
+            sanitizer.on_erased(block)
         self._page_state[block, :] = PAGE_ERASED
         for page in range(self.geometry.pages_per_block):
             self._data.pop((block, page), None)
@@ -612,19 +675,28 @@ class FlashDevice:
             seconds += self.faults.jitter_s(self.profile.flash_erase_latency_s)
         if background:
             self.clock.charge_background("flash", seconds)
+            if sanitizer is not None:
+                sanitizer.op_end_background("erase_block", busy_start)
         else:
             self.clock.charge("flash", seconds)
+            if sanitizer is not None:
+                sanitizer.op_end("erase_block", op_start)
 
     # --------------------------------------------------------------- recovery
 
-    def read_oob(self, block: int, page: int) -> bytes | None:
+    # Free by design: OOB bytes ride along with every page transfer, and
+    # recovery-time sweeps charge their latency via mount_scan().
+    def read_oob(self, block: int, page: int) -> bytes | None:  # repro-lint: disable=RL006
         """Spare-area metadata of a valid page (``None`` if none was ever
         programmed — e.g. a torn page).  Free: OOB rides along with every
         page transfer, and recovery scans charge via :meth:`mount_scan`."""
         self._check_page(block, page)
         if self._page_state[block, page] != PAGE_VALID:
             raise FlashError(f"OOB read of non-valid page ({block}, {page})")
-        return self._oob.get((block, page))
+        oob = self._oob.get((block, page))
+        if self.sanitizer is not None:
+            self.sanitizer.on_read_oob(block, page, oob)
+        return oob
 
     def mount_scan(self) -> list[tuple[int, int, bytes | None]]:
         """Recovery-time sweep: every valid page's ``(block, page, oob)``.
@@ -635,6 +707,8 @@ class FlashDevice:
         Retired bad blocks are included: they may still hold the only valid
         copy of data whose relocation a crash interrupted.
         """
+        sanitizer = self.sanitizer
+        op_start = sanitizer.op_begin() if sanitizer is not None else 0.0
         results: list[tuple[int, int, bytes | None]] = []
         scanned = 0
         for block in range(self.geometry.num_blocks):
@@ -650,6 +724,10 @@ class FlashDevice:
             self.clock.charge("flash",
                               scanned * self.profile.flash_read_latency_s,
                               ops=scanned)
+            if sanitizer is not None:
+                for block, page, oob in results:
+                    sanitizer.on_read_oob(block, page, oob)
+                sanitizer.op_end("mount_scan", op_start)
         return results
 
     # ------------------------------------------------------------------- state

@@ -34,6 +34,12 @@ A plan with every rate at zero is free: no generator draws, no extra
 charges, bit-identical sim-clock accounting — the invariance goldens pin
 this.
 
+RNG audit (repro-lint RL001): all randomness flows through generators
+seeded from the plan's explicit ``seed`` field — ``FaultInjector`` uses
+``default_rng(plan.seed)`` and ``PowerLossInjector`` derives its stream
+from ``SeedSequence([plan.seed, 0x51A5])`` so fault and crash draws never
+alias.  Nothing reads the global numpy state or host entropy.
+
 The exception taxonomy itself lives in :mod:`repro.flash.device` (the layer
 that raises it) and is re-exported here for convenience.
 """

@@ -77,6 +77,22 @@ class PageMappedFTL:
         self.user_pages_written = 0
         self.gc_relocations = 0
         self.gc_runs = 0
+        if device.sanitizer is not None:
+            device.sanitizer.track_ftl(self)
+
+    def _sanity_check(self, mutated: int | None = None) -> None:
+        """FlashSan bookkeeping audit after batched mutations (write_many,
+        GC, mount).  The audit is O(map size), so single-page write/trim
+        skip it entirely and ``write_many`` passes its batch size to run it
+        on an amortized schedule; drift those paths introduce is still
+        caught at the next scheduled audit or at erase time."""
+        sanitizer = self.device.sanitizer
+        if sanitizer is None:
+            return
+        if mutated is None:
+            sanitizer.check_ftl(self)
+        else:
+            sanitizer.maybe_check_ftl(self, mutated)
 
     def _make_oob(self, lpn: int, data) -> bytes | None:
         if not self.durable:
@@ -139,6 +155,7 @@ class PageMappedFTL:
             raise FlashWearOutError(
                 "mounted device has more retired blocks than spare capacity")
         ftl.user_pages_written = len(best)
+        ftl._sanity_check()
         return ftl
 
     # ----------------------------------------------------------------- lookup
@@ -235,6 +252,7 @@ class PageMappedFTL:
                 reverse[addr] = lpn
             self.user_pages_written += take
             i += take
+        self._sanity_check(mutated=n)
 
     def _commit_mapping(self, lpn: int, block: int, page: int) -> None:
         old = self._map.get(lpn)
@@ -310,6 +328,7 @@ class PageMappedFTL:
                 self.gc_runs += 1
         finally:
             self._in_gc = False
+        self._sanity_check()
 
     def _relocate_and_erase(self, victim: int) -> None:
         geometry = self.device.geometry

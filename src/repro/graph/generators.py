@@ -17,6 +17,12 @@ the structural property that drives its results:
 
 All generators are deterministic given a seed and return (src, dst) uint64
 arrays; duplicate edges and self-loops are kept, as in Graph500 inputs.
+
+RNG audit (repro-lint RL001): every function here constructs its own
+``np.random.default_rng(seed)`` from an explicit caller-supplied seed and
+draws nothing from global or OS-entropy state — two calls with the same
+arguments produce byte-identical edge lists, which is what lets
+``load_dataset`` cache built graphs and the invariance goldens stay pinned.
 """
 
 from __future__ import annotations

@@ -135,14 +135,16 @@ def run_grafboost_system(kind: str, graph: CSRGraph, algorithm: str,
                          pagerank_iterations: int = 1,
                          faults=None, crashes=None,
                          checkpoint_every: int = 0,
-                         durable: bool = False) -> WorkloadResult:
+                         durable: bool = False,
+                         sanitize: bool | None = None) -> WorkloadResult:
     """Run one of the GraFBoost-family engines on an algorithm.
 
     ``faults`` (a :class:`~repro.flash.faults.FaultPlan`) makes the run a
     seeded chaos test; its recovery counters land on the result.
     ``crashes`` (a :class:`~repro.flash.faults.CrashPlan`) additionally
     injects power losses; the run then goes through the
-    :func:`run_with_crashes` crash→remount→resume loop.
+    :func:`run_with_crashes` crash→remount→resume loop.  ``sanitize``
+    attaches FlashSan to the device (``None`` defers to ``REPRO_SANITIZE``).
     """
     if crashes is not None:
         return run_with_crashes(kind, graph, algorithm, scale=scale,
@@ -151,10 +153,10 @@ def run_grafboost_system(kind: str, graph: CSRGraph, algorithm: str,
                                 dram_bytes=dram_bytes, profile=profile,
                                 dataset=dataset, seed_root=seed_root,
                                 pagerank_iterations=pagerank_iterations,
-                                faults=faults)
+                                faults=faults, sanitize=sanitize)
     system = make_system(kind.lower(), scale, dram_bytes=dram_bytes,
                          num_vertices_hint=graph.num_vertices, profile=profile,
-                         faults=faults, durable=durable)
+                         faults=faults, durable=durable, sanitize=sanitize)
     flash_graph = system.load_graph(graph)
     engine = system.engine_for(flash_graph, graph.num_vertices,
                                checkpoint_every=checkpoint_every)
@@ -211,7 +213,8 @@ def run_with_crashes(kind: str, graph: CSRGraph, algorithm: str,
                      profile: HardwareProfile | None = None,
                      dataset: str = "?", seed_root: int | None = None,
                      pagerank_iterations: int = 1,
-                     faults=None, max_remounts: int = 10_000) -> WorkloadResult:
+                     faults=None, max_remounts: int = 10_000,
+                     sanitize: bool | None = None) -> WorkloadResult:
     """Run an algorithm under power-loss injection: crash → remount → resume.
 
     The stack is built durable; every :class:`PowerLossError` the injector
@@ -232,7 +235,8 @@ def run_with_crashes(kind: str, graph: CSRGraph, algorithm: str,
             f"run_with_crashes supports pagerank/bfs, not {algorithm!r}")
     system = make_system(kind.lower(), scale, dram_bytes=dram_bytes,
                          num_vertices_hint=graph.num_vertices, profile=profile,
-                         faults=faults, crashes=crashes, durable=True)
+                         faults=faults, crashes=crashes, durable=True,
+                         sanitize=sanitize)
     remounts = 0
 
     def remount() -> None:
@@ -359,7 +363,8 @@ def run_cell(system: str, graph: CSRGraph, algorithm: str,
              pagerank_iterations: int = 1,
              grafboost_profile: HardwareProfile | None = None,
              faults=None, crashes=None,
-             checkpoint_every: int = 0) -> WorkloadResult:
+             checkpoint_every: int = 0,
+             sanitize: bool | None = None) -> WorkloadResult:
     """Dispatch one (system, algorithm) cell with shared conventions.
 
     ``server_profile`` is the host every *software* system runs on (the
@@ -381,7 +386,8 @@ def run_cell(system: str, graph: CSRGraph, algorithm: str,
                                     dataset=dataset, profile=profile,
                                     pagerank_iterations=pagerank_iterations,
                                     faults=faults, crashes=crashes,
-                                    checkpoint_every=checkpoint_every)
+                                    checkpoint_every=checkpoint_every,
+                                    sanitize=sanitize)
     return run_baseline_system(system, graph, algorithm, server_profile,
                                scale=scale, cutoff_s=cutoff_s, dataset=dataset,
                                pagerank_iterations=pagerank_iterations)

@@ -1,0 +1,34 @@
+"""repro-lint: repo-specific static analysis for the GraFBoost reproduction.
+
+The reproduction rests on invariants that no generic linter knows about:
+
+* simulated time is deterministic, so wall-clock reads and unseeded RNG in
+  sim paths silently break bit-exact goldens (RL001);
+* ``PowerLossError`` derives from ``BaseException`` precisely so cleanup
+  code cannot swallow it — a bare ``except`` that fails to re-raise defeats
+  the crash-injection machinery (RL002);
+* the flash stack has its own error taxonomy (RL003) and everything below
+  the store layer must talk to ``FlashDevice``, never the host filesystem
+  (RL004);
+* keys/LPNs/offsets are integers up to 2^64 — float-producing arithmetic
+  on them loses precision past 2^53, a regression class this repo has
+  already shipped once (RL005);
+* every public device operation must charge the ``SimClock``, or the
+  performance model silently under-counts (RL006).
+
+Run with ``python -m repro.lint src tests``.  Suppress a finding on one
+line with ``# repro-lint: disable=RL001`` (comma-separate several ids,
+or ``disable=all``).
+"""
+
+from repro.lint.engine import Violation, lint_paths, lint_source, main
+from repro.lint.rules import ALL_RULES, Rule
+
+__all__ = [
+    "ALL_RULES",
+    "Rule",
+    "Violation",
+    "lint_paths",
+    "lint_source",
+    "main",
+]

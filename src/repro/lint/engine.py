@@ -1,0 +1,106 @@
+"""Driver: walk files, run rules, honor inline suppressions, report.
+
+Suppressions are line-scoped comments::
+
+    page = device.read_oob(b, p)  # repro-lint: disable=RL006
+    risky()  # repro-lint: disable=RL001,RL005
+    anything()  # repro-lint: disable=all
+
+A finding is suppressed when the comment sits on the line the finding is
+reported at (for multi-line statements that is the line of the offending
+node, usually the first line of the statement).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+import sys
+from typing import Iterable, Sequence
+
+from repro.lint.rules import ALL_RULES, Rule, Violation
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+def _suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number -> set of suppressed rule ids (or {"all"})."""
+    out: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _SUPPRESS_RE.search(line)
+        if m:
+            ids = {tok.strip() for tok in m.group(1).split(",") if tok.strip()}
+            out[lineno] = {i.lower() if i.lower() == "all" else i.upper()
+                           for i in ids}
+    return out
+
+
+def lint_source(source: str, path: str,
+                rules: Sequence[Rule] | None = None) -> list[Violation]:
+    """Lint one file's text; ``path`` decides which rules apply."""
+    active = [r for r in (rules if rules is not None else ALL_RULES)
+              if r.applies(path)]
+    if not active:
+        return []
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as err:
+        return [Violation(path, err.lineno or 1, err.offset or 0, "RL000",
+                          f"syntax error: {err.msg}")]
+    suppressed = _suppressions(source)
+    found: list[Violation] = []
+    for rule in active:
+        for violation in rule.check(tree, path):
+            ids = suppressed.get(violation.line, set())
+            if "all" in ids or violation.rule_id in ids:
+                continue
+            found.append(violation)
+    found.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    return found
+
+
+def iter_python_files(paths: Iterable[str]) -> list[str]:
+    files: list[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(d for d in dirnames
+                                 if d not in ("__pycache__", ".git"))
+            files.extend(os.path.join(dirpath, name)
+                         for name in sorted(filenames)
+                         if name.endswith(".py"))
+    return files
+
+
+def lint_paths(paths: Iterable[str],
+               rules: Sequence[Rule] | None = None) -> list[Violation]:
+    found: list[Violation] = []
+    for file_path in iter_python_files(paths):
+        with open(file_path, encoding="utf-8") as fh:
+            source = fh.read()
+        found.extend(lint_source(source, file_path, rules))
+    return found
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if "--list-rules" in args:
+        for rule in ALL_RULES:
+            doc = (rule.__class__.__doc__ or "").strip().splitlines()[0]
+            print(f"{rule.id}  {doc}")
+        return 0
+    if not args:
+        print("usage: python -m repro.lint [--list-rules] PATH [PATH ...]",
+              file=sys.stderr)
+        return 2
+    violations = lint_paths(args)
+    for violation in violations:
+        print(violation.render())
+    if violations:
+        print(f"repro-lint: {len(violations)} violation(s) in "
+              f"{len({v.path for v in violations})} file(s)", file=sys.stderr)
+        return 1
+    return 0

@@ -101,7 +101,10 @@ def test_flash_data_really_round_trips():
     """The engines' storage is not a mock: corrupting one flash page changes
     the observable file contents."""
     graph = load_dataset("twitter", SCALE)
-    system = make_system("grafboost", SCALE, num_vertices_hint=graph.num_vertices)
+    # sanitize=False: this test corrupts raw flash behind the device API,
+    # which is precisely the tampering FlashSan exists to report.
+    system = make_system("grafboost", SCALE, num_vertices_hint=graph.num_vertices,
+                         sanitize=False)
     flash_graph = system.load_graph(graph)
     # Reach into the device and flip a page of the edge file.
     store = system.store

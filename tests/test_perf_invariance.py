@@ -283,3 +283,55 @@ def test_sim_clock_invariance_pagerank(system, golden_elapsed, golden_flash,
         assert result.corrected_bit_errors == 0
         assert result.read_retries == 0
         assert result.retired_blocks == 0
+
+
+# --------------------------------------------------------------------------
+# sanitizer invariance: FlashSan must be a pure observer
+# --------------------------------------------------------------------------
+# FlashSan never charges the clock and never draws randomness, so attaching
+# it must reproduce the unsanitized goldens bit-for-bit.
+
+
+@pytest.mark.parametrize("system,golden_elapsed,golden_flash", [
+    ("GraFSoft", 0.020262423304451636, 19759104),
+    ("GraFBoost", 0.006711056717236828, 9875456),
+])
+def test_sanitized_pagerank_bit_identical(system, golden_elapsed,
+                                          golden_flash):
+    graph = load_dataset("kron30", scale=1 / 65536, seed=7)
+    result = run_grafboost_system(system, graph, "pagerank", scale=1 / 65536,
+                                  dataset="kron30", pagerank_iterations=2,
+                                  sanitize=True)
+    assert result.elapsed_s == golden_elapsed
+    assert result.flash_bytes == golden_flash
+    assert result.traversed_edges == 521983
+
+
+@pytest.mark.parametrize("system", ["GraFBoost", "GraFSoft"])
+def test_sanitized_bfs_bit_identical(system):
+    graph = load_dataset("kron30", scale=1 / 65536, seed=7)
+    plain = run_grafboost_system(system, graph, "bfs", scale=1 / 65536,
+                                 dataset="kron30", sanitize=False)
+    sanitized = run_grafboost_system(system, graph, "bfs", scale=1 / 65536,
+                                     dataset="kron30", sanitize=True)
+    assert sanitized.elapsed_s == plain.elapsed_s
+    assert sanitized.flash_bytes == plain.flash_bytes
+    assert sanitized.traversed_edges == plain.traversed_edges
+    assert sanitized.supersteps == plain.supersteps
+
+
+def test_sanitizer_actually_observed_the_run():
+    """Guard against the invariance tests passing because the sanitizer was
+    silently detached: a sanitized system run performs shadow checks."""
+    from repro.algorithms.pagerank import run_pagerank
+    from repro.engine.config import make_system
+
+    graph = load_dataset("kron30", scale=1 / 65536, seed=7)
+    system = make_system("grafboost", 1 / 65536,
+                         num_vertices_hint=graph.num_vertices, sanitize=True)
+    flash_graph = system.load_graph(graph)
+    engine = system.engine_for(flash_graph, graph.num_vertices)
+    run_pagerank(engine, graph.num_vertices, 1)
+    sanitizer = system.device.sanitizer
+    assert sanitizer is not None
+    assert sanitizer.pages_checked > 0
