@@ -14,6 +14,10 @@ Components timed (best of ``--rounds``, ``time.perf_counter``):
 * ``edge_gather``      — index_lookup + edges_for over an on-flash CSR graph
 * ``pagerank_e2e``     — GraFSoft PageRank on kron30, graph build excluded
 * ``dataset_cache``    — cold synthesis vs. warm load from the on-disk cache
+* ``parallel_scaling`` — the --workers sort-reduce pool: cores-vs-throughput
+  for batched chunk sorts and the key-range-partitioned merge, workers in
+  {1, 2, 4, 8}, with ``host_cpus`` recorded so single-core machines read
+  honestly
 
 The end-to-end row also records the workload's *simulated* ``elapsed_s`` and
 flash bytes: those must stay bit-identical across perf PRs (the vectorization
@@ -157,12 +161,87 @@ def bench_dataset_cache(cfg) -> dict:
             "speedup": cold / warm if warm > 0 else float("inf")}
 
 
+def bench_parallel_scaling(cfg) -> dict:
+    """Cores-vs-throughput of the sort-reduce worker pool.
+
+    Two shapes per worker count: a batch of independent chunk sorts pushed
+    through the async ticket API (the pipeline shape), and one synchronous
+    key-range-partitioned ``merge_reduce`` (the merge-tree shape).  The
+    serial row (workers=1) runs the exact pool-less expressions.  Speedups
+    are relative to that serial row; on a single-core host expect <= 1.0 —
+    ``host_cpus`` is recorded precisely so that reads honestly.
+    """
+    from repro.core.inmemory import sort_reduce_in_memory
+    from repro.core.parallel import SortReducePool
+
+    rng = np.random.default_rng(3)
+    n_chunks = 8
+    chunk_n = max(1, cfg["chunk_n"] // 4)
+    chunks = [
+        KVArray(rng.integers(0, 1 << 30, chunk_n).astype(np.uint64),
+                rng.random(chunk_n))
+        for _ in range(n_chunks)
+    ]
+    runs = [
+        KVArray(rng.integers(0, 1 << 17, cfg["run_n"]).astype(np.uint64),
+                rng.random(cfg["run_n"])).sorted()
+        for _ in range(16)
+    ]
+
+    def serial_chunks():
+        return [sort_reduce_in_memory(c, SUM) for c in chunks]
+
+    def serial_merge():
+        return merge_reduce_arrays(runs, SUM)
+
+    rows = {}
+    chunk_serial_s, chunk_serial_out = best_of(serial_chunks, cfg["rounds"])
+    merge_serial_s, merge_serial_out = best_of(serial_merge, cfg["rounds"])
+    rows["1"] = {"chunk_batch_seconds": chunk_serial_s,
+                 "merge_seconds": merge_serial_s,
+                 "chunk_speedup": 1.0, "merge_speedup": 1.0}
+    for workers in (2, 4, 8):
+        pool = SortReducePool(workers)
+        try:
+            def pooled_chunks():
+                tickets = [pool.submit_chunk_sort(c, SUM) for c in chunks]
+                return [pool.collect(t) for t in tickets]
+
+            def pooled_merge():
+                return pool.merge_reduce(runs, SUM)
+
+            chunk_s, chunk_out = best_of(pooled_chunks, cfg["rounds"])
+            merge_s, merge_out = best_of(pooled_merge, cfg["rounds"])
+        finally:
+            pool.shutdown()
+        # Bit-identity is the whole point; assert it where we measure it.
+        assert all(np.array_equal(a.keys, b.keys)
+                   and np.array_equal(a.values, b.values)
+                   for a, b in zip(chunk_out, chunk_serial_out))
+        assert np.array_equal(merge_out.keys, merge_serial_out.keys)
+        assert np.array_equal(merge_out.values, merge_serial_out.values)
+        rows[str(workers)] = {
+            "chunk_batch_seconds": chunk_s,
+            "merge_seconds": merge_s,
+            "chunk_speedup": chunk_serial_s / chunk_s if chunk_s > 0 else 0.0,
+            "merge_speedup": merge_serial_s / merge_s if merge_s > 0 else 0.0,
+        }
+    return {
+        "seconds": chunk_serial_s + merge_serial_s,
+        "host_cpus": os.cpu_count(),
+        "chunk_batch": {"chunks": n_chunks, "chunk_n": chunk_n},
+        "merge": {"fanout": 16, "run_n": cfg["run_n"]},
+        "by_workers": rows,
+    }
+
+
 BENCHES = [
     ("chunk_sort", bench_chunk_sort),
     ("merge_reduce", bench_merge_reduce),
     ("edge_gather", bench_edge_gather),
     ("pagerank_e2e", bench_pagerank_e2e),
     ("dataset_cache", bench_dataset_cache),
+    ("parallel_scaling", bench_parallel_scaling),
 ]
 
 

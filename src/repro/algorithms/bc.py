@@ -79,7 +79,7 @@ def run_betweenness_centrality(engine: GraFBoostEngine, root: int) -> BCResult:
         reducer = ExternalSortReducer(
             store, SUM, np.dtype("<f8"), engine.backend, engine.chunk_bytes,
             fanout=engine.fanout, name_prefix=f"bc-back-{level_index}",
-            memory=engine.memory,
+            memory=engine.memory, pool=engine.pool,
         )
         reducer.add(updates)
         run = reducer.finish()

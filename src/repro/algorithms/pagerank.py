@@ -137,7 +137,7 @@ def run_pagerank(engine: GraFBoostEngine, num_vertices: int,
 def run_pagerank_alg4(store, backend, out_graph: FlashCSR, in_graph: FlashCSR,
                       num_vertices: int, chunk_bytes: int, iterations: int = 10,
                       tol: float = 1e-9, damping: float = 0.85, memory=None,
-                      fanout: int = 16) -> RunResult:
+                      fanout: int = 16, pool=None) -> RunResult:
     """Algorithm 4: PageRank with bloom-filter custom active-list generation.
 
     Each iteration: scan ``newV``, finalize against ``V``; for every vertex
@@ -201,7 +201,7 @@ def run_pagerank_alg4(store, backend, out_graph: FlashCSR, in_graph: FlashCSR,
             reducer = ExternalSortReducer(
                 store, SUM, program.value_dtype, backend, chunk_bytes,
                 fanout=fanout, name_prefix=f"pagerank-alg4-i{iteration}",
-                memory=memory,
+                memory=memory, pool=pool,
             )
             push_cursor = vertices.cursor()
             pushed = 0

@@ -57,7 +57,7 @@ def run_personalized_pagerank(engine: GraFBoostEngine, source: int,
         reducer = ExternalSortReducer(
             store, SUM, np.float64, engine.backend, engine.chunk_bytes,
             fanout=engine.fanout, name_prefix=f"ppr-i{iteration}",
-            memory=engine.memory)
+            memory=engine.memory, pool=engine.pool)
         cursor = vertices.cursor()
         overlay = vertices.overlay_writer(iteration)
         max_change = 0.0

@@ -108,6 +108,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="attach FlashSan, the runtime flash-invariant "
                           "sanitizer, to the simulated device (GraFBoost-"
                           "family systems; equivalent to REPRO_SANITIZE=1)")
+    run.add_argument("--workers", type=int, default=None, metavar="N",
+                     help="sort-reduce worker processes for the GraFBoost-"
+                          "family engines (default: REPRO_WORKERS or 1); "
+                          "results and simulated time are bit-identical "
+                          "for any N")
 
     compare = sub.add_parser("compare", help="run a figure-style matrix")
     compare.add_argument("--dataset", choices=sorted(DATASETS), default="kron28")
@@ -187,7 +192,8 @@ def cmd_run(args) -> int:
                         dataset=args.dataset, faults=args.faults,
                         crashes=args.crashes,
                         checkpoint_every=checkpoint_every,
-                        sanitize=True if args.sanitize else None)
+                        sanitize=True if args.sanitize else None,
+                        workers=args.workers)
     except FlashError as e:
         print(f"{args.system} {args.algorithm}: aborted on "
               f"{type(e).__name__}: {e}", file=sys.stderr)
@@ -231,7 +237,8 @@ def _run_with_timeline(args, graph) -> int:
     from repro.harness import default_root
 
     system = make_system(args.system.lower(), args.scale,
-                         num_vertices_hint=graph.num_vertices)
+                         num_vertices_hint=graph.num_vertices,
+                         workers=args.workers)
     flash_graph = system.load_graph(graph)
     engine = system.engine_for(flash_graph, graph.num_vertices)
     if args.algorithm == "pagerank":

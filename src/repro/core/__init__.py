@@ -14,6 +14,9 @@ Layers, bottom-up:
 * :mod:`repro.core.merger` — streaming k-way merge-reduce of sorted runs.
 * :mod:`repro.core.external` — external sort-reduce over flash files with
   per-phase reduction statistics (Fig 14).
+* :mod:`repro.core.parallel` — the multi-core worker pool behind
+  ``--workers N``: parallel chunk sorts and key-range-partitioned merges
+  with bit-identical results and simulated time for any worker count.
 * :mod:`repro.core.sorting_network` / :mod:`repro.core.packing` /
   :mod:`repro.core.accelerator` — functional models of the FPGA datapath
   (Fig 9, Fig 7) and its throughput, plus the software backend's cost model.
@@ -24,6 +27,13 @@ from repro.core.reduce_ops import ReduceOp, SUM, MIN, MAX, FIRST, LAST, PROD
 from repro.core.inmemory import sort_reduce_in_memory
 from repro.core.merger import merge_reduce_arrays, StreamingMergeReducer
 from repro.core.external import ExternalSortReducer, SortReduceStats
+from repro.core.parallel import (
+    SortReducePool,
+    WorkerTaskError,
+    get_pool,
+    resolve_workers,
+    shutdown_pools,
+)
 from repro.core.accelerator import (
     AcceleratorBackend,
     SoftwareBackend,
@@ -45,6 +55,11 @@ __all__ = [
     "StreamingMergeReducer",
     "ExternalSortReducer",
     "SortReduceStats",
+    "SortReducePool",
+    "WorkerTaskError",
+    "get_pool",
+    "resolve_workers",
+    "shutdown_pools",
     "AcceleratorBackend",
     "SoftwareBackend",
     "backend_for_profile",

@@ -68,15 +68,33 @@ class SortReduceStats:
 
     @property
     def phases(self) -> list[PhaseStat]:
-        """Phase stats in first-recorded order (phase 0 first in practice)."""
-        return list(self._by_phase.values())
+        """Phase stats in phase-number order.
+
+        Sorting here (not insertion order) makes every report a pure
+        function of the *aggregate* counts: parallel execution may record
+        a later phase before an earlier one finishes draining, and shuffled
+        record order must not change ``phases``/``to_dict`` output.
+        """
+        return [self._by_phase[p] for p in sorted(self._by_phase)]
 
     def record(self, phase: int, pairs_in: int, pairs_out: int) -> None:
+        """Accumulate one (partial) phase observation.
+
+        Addition is commutative, so any interleaving of ``record`` calls —
+        per-chunk, per-worker, shuffled — yields identical totals.
+        """
         existing = self._by_phase.get(phase)
         if existing is not None:
             pairs_in += existing.pairs_in
             pairs_out += existing.pairs_out
         self._by_phase[phase] = PhaseStat(phase, pairs_in, pairs_out)
+
+    def merge(self, other: "SortReduceStats") -> None:
+        """Fold another stats object in (per-worker / per-partition
+        aggregation).  Deterministic regardless of merge order."""
+        self.total_input_pairs += other.total_input_pairs
+        for stat in other.phases:
+            self.record(stat.phase, stat.pairs_in, stat.pairs_out)
 
     def written_fractions(self) -> list[float]:
         """Fig 14's series: data written to storage after each phase, as a
@@ -170,7 +188,7 @@ class ExternalSortReducer:
 
     def __init__(self, store, op: ReduceOp, value_dtype: np.dtype, backend,
                  chunk_bytes: int, fanout: int = 16, name_prefix: str = "sortreduce",
-                 memory=None):
+                 memory=None, pool=None):
         if chunk_bytes < 1024:
             raise ValueError(f"chunk_bytes unreasonably small: {chunk_bytes}")
         self.store = store
@@ -181,6 +199,12 @@ class ExternalSortReducer:
         self.fanout = fanout
         self.name_prefix = f"{name_prefix}-{next(_run_counter)}"
         self.memory = memory
+        #: Optional :class:`repro.core.parallel.SortReducePool`.  With a pool
+        #: chunk sorts and merges are key-range-partitioned across worker
+        #: processes; all store I/O, clock charges and stats stay on this
+        #: process in the exact serial order, so results and simulated time
+        #: are bit-identical to ``pool=None``.
+        self.pool = pool
         self.stats = SortReduceStats()
         self._buffer: deque[KVArray] = deque()
         self._buffered_bytes = 0
@@ -235,12 +259,25 @@ class ExternalSortReducer:
 
     def _flush_chunk(self) -> None:
         chunk = self._take_chunk()
-        reduced = sort_reduce_in_memory(chunk, self.op)
-        self.backend.charge_chunk_sort(self.clock, chunk.nbytes)
-        self.stats.record(0, len(chunk), len(reduced))
+        if self.pool is not None:
+            # Key-range-partitioned across the workers, but *synchronous*:
+            # the charges and writes in _finish_chunk happen right here,
+            # exactly where the serial path makes them.  (Deferring the
+            # drain to overlap with flash I/O would reorder this chunk's
+            # charges past any clock charges the caller makes between
+            # add() calls, moving the low bits of elapsed_s.)
+            reduced = self.pool.sort_reduce_chunk(chunk, self.op)
+        else:
+            reduced = sort_reduce_in_memory(chunk, self.op)
+        self._finish_chunk(reduced, len(chunk), chunk.nbytes)
+
+    def _finish_chunk(self, reduced: KVArray, pairs_in: int,
+                      chunk_nbytes: int) -> None:
+        """The serial-ordered tail of a chunk flush: charge, record, write."""
+        self.backend.charge_chunk_sort(self.clock, chunk_nbytes)
+        self.stats.record(0, pairs_in, len(reduced))
         self._write_run(reduced)
         self._merge_full_levels()
-
 
     def _write_run(self, run: KVArray) -> None:
         name = f"{self.name_prefix}:run-{self._run_counter}"
@@ -273,7 +310,15 @@ class ExternalSortReducer:
     # ----------------------------------------------------------------- output
 
     def finish(self) -> RunHandle:
-        """Flush the tail chunk and merge all runs down to one."""
+        """Flush the tail chunk and merge all runs down to one.
+
+        Any failure mid-merge cleans up after itself: on an ``Exception``
+        every temp run (including the partially-written merge output, see
+        :meth:`_merge_group`) is deleted via :meth:`close`.  A
+        ``BaseException`` (an injected power loss) propagates untouched —
+        the store is dead, and its sealed runs are exactly what crash
+        recovery needs; the pool discards its own in-flight tickets.
+        """
         if self._finished:
             raise RuntimeError("finish() called twice")
         self._finished = True
@@ -291,6 +336,9 @@ class ExternalSortReducer:
                 self._merge_group(self._runs[:self.fanout],
                                   concurrency=1 if final else 4)
             return self._runs[0]
+        except Exception:
+            self.close()
+            raise
         finally:
             self._free_memory()
 
@@ -344,8 +392,20 @@ class ExternalSortReducer:
             self.store.append(out_name, kv.to_bytes())
             out_records += len(kv)
 
-        merger = StreamingMergeReducer(self.op, self.value_dtype, fanout=self.fanout)
-        pairs_in, pairs_out = merger.merge([r.chunks() for r in group], sink)
+        merger = StreamingMergeReducer(self.op, self.value_dtype,
+                                       fanout=self.fanout, pool=self.pool)
+        try:
+            pairs_in, pairs_out = merger.merge([r.chunks() for r in group], sink)
+        except Exception:
+            # A failed merge (device error, worker death) must not leak its
+            # partially-written output: it is not yet in ``self._runs``, so
+            # ``close()`` alone would never delete it.
+            try:
+                if self.store.exists(out_name):
+                    self.store.delete(out_name)
+            except FlashError:
+                pass  # best-effort cleanup on an already-failing device
+            raise
         if pairs_out:
             self.store.seal(out_name)
         handle = RunHandle(self.store, out_name, out_records, self.value_dtype,
@@ -396,11 +456,11 @@ def recover_runs(store, prefix: str,
 def sort_reduce_stream(chunks: Iterator[KVArray], store, op: ReduceOp,
                        value_dtype: np.dtype, backend, chunk_bytes: int,
                        fanout: int = 16, name_prefix: str = "sortreduce",
-                       memory=None) -> tuple[RunHandle, SortReduceStats]:
+                       memory=None, pool=None) -> tuple[RunHandle, SortReduceStats]:
     """One-shot convenience: sort-reduce a stream of unsorted KV chunks."""
     reducer = ExternalSortReducer(
         store, op, value_dtype, backend, chunk_bytes,
-        fanout=fanout, name_prefix=name_prefix, memory=memory,
+        fanout=fanout, name_prefix=name_prefix, memory=memory, pool=pool,
     )
     for chunk in chunks:
         reducer.add(chunk)

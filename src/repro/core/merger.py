@@ -23,13 +23,16 @@ from repro.core.kvstream import KVArray
 from repro.core.reduce_ops import ReduceOp
 
 
-def merge_reduce_arrays(runs: list[KVArray], op: ReduceOp) -> KVArray:
+def merge_reduce_arrays(runs: list[KVArray], op: ReduceOp,
+                        pool=None) -> KVArray:
     """Merge-reduce fully in-memory runs.
 
     Because our sorts are stable, concatenating in run order and stable
     sorting is equivalent to an order-preserving k-way merge, so FIRST/LAST
     see values in (run order, position order) — the same order a hardware
-    merge tree would present them.
+    merge tree would present them.  With a
+    :class:`~repro.core.parallel.SortReducePool` the work is key-range
+    partitioned across workers; the result is bitwise identical.
     """
     runs = [r for r in runs if len(r)]
     if not runs:
@@ -37,6 +40,8 @@ def merge_reduce_arrays(runs: list[KVArray], op: ReduceOp) -> KVArray:
     for i, r in enumerate(runs):
         if not r.is_sorted():
             raise ValueError(f"input run {i} is not sorted")
+    if pool is not None:
+        return pool.merge_reduce(runs, op)
     return op.reduce_sorted(KVArray.concat(runs).sorted(presorted_concat=True),
                             presorted=True)
 
@@ -110,7 +115,7 @@ class StreamingMergeReducer:
     """
 
     def __init__(self, op: ReduceOp, value_dtype: np.dtype, fanout: int = 16,
-                 refill_records: int = 65536):
+                 refill_records: int = 65536, pool=None):
         if fanout < 2:
             raise ValueError(f"fanout must be >= 2, got {fanout}")
         if refill_records < 1:
@@ -119,6 +124,10 @@ class StreamingMergeReducer:
         self.value_dtype = np.dtype(value_dtype)
         self.fanout = fanout
         self.refill_records = refill_records
+        #: Optional :class:`repro.core.parallel.SortReducePool`: emit batches
+        #: are then key-range partitioned across worker processes — the leaf
+        #: level of the software merge tree — with bitwise-identical output.
+        self.pool = pool
         self.pairs_in = 0
         self.pairs_out = 0
 
@@ -181,8 +190,12 @@ class StreamingMergeReducer:
         parts = [p for p in parts if len(p)]
         if not parts:
             return
-        merged = self.op.reduce_sorted(
-            KVArray.concat(parts).sorted(presorted_concat=True), presorted=True)
+        if self.pool is not None:
+            merged = self.pool.merge_reduce(parts, self.op)
+        else:
+            merged = self.op.reduce_sorted(
+                KVArray.concat(parts).sorted(presorted_concat=True),
+                presorted=True)
         self.pairs_in += sum(len(p) for p in parts)
         self.pairs_out += len(merged)
         sink(merged)

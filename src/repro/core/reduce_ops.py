@@ -111,6 +111,17 @@ LAST = ReduceOp("last", None, scalar=lambda a, b: b)
 _BUILTIN = {op.name: op for op in (SUM, PROD, MIN, MAX, FIRST, LAST)}
 
 
+def is_builtin_op(op: ReduceOp) -> bool:
+    """True iff ``op`` is one of the registry singletons above.
+
+    The parallel sort-reduce pool ships operators to worker processes *by
+    name*; an identity check (not just a name match) keeps a user-defined
+    operator that shadows a built-in name on the inline path, where its
+    actual function runs.
+    """
+    return _BUILTIN.get(op.name) is op
+
+
 def op_by_name(name: str) -> ReduceOp:
     """Look up a built-in reduction operator by name."""
     try:

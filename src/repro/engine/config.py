@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 from repro.core.accelerator import AcceleratorBackend, SoftwareBackend
 from repro.core.packing import PackingSpec
+from repro.core.parallel import resolve_workers
 from repro.engine.engine import GraFBoostEngine
 from repro.flash.aoffs import AppendOnlyFlashFS
 from repro.flash.device import FlashDevice, FlashGeometry
@@ -66,6 +67,9 @@ class SystemConfig:
     chunk_bytes: int
     fanout: int = 16
     durable: bool = False
+    #: Sort-reduce worker processes (1 = serial; resolved from
+    #: ``REPRO_WORKERS`` when ``make_system`` is given ``workers=None``).
+    workers: int = 1
 
     def engine_for(self, graph: FlashCSR, num_vertices: int,
                    lazy: bool = True, checkpoint_every: int = 0,
@@ -75,6 +79,7 @@ class SystemConfig:
             chunk_bytes=self.chunk_bytes, fanout=self.fanout,
             memory=self.memory, lazy=lazy,
             checkpoint_every=checkpoint_every, auto_resume=auto_resume,
+            workers=self.workers,
         )
 
     def load_graph(self, graph: CSRGraph, prefix: str = "graph") -> FlashCSR:
@@ -144,7 +149,8 @@ def make_system(kind: str, scale_factor: float = 1.0,
                 profile: HardwareProfile | None = None,
                 faults=None, crashes=None,
                 durable: bool = False,
-                sanitize: bool | None = None) -> SystemConfig:
+                sanitize: bool | None = None,
+                workers: int | None = None) -> SystemConfig:
     """Build one of the GraFBoost-family stacks at a given scale.
 
     ``dram_bytes`` overrides the (scaled) DRAM budget — the Fig 13 memory
@@ -159,6 +165,9 @@ def make_system(kind: str, scale_factor: float = 1.0,
     through to flash so :meth:`SystemConfig.remount` can recover it.
     ``sanitize`` attaches FlashSan (see :mod:`repro.flash.sanitizer`) to the
     device; ``None`` defers to the ``REPRO_SANITIZE`` environment variable.
+    ``workers`` enables the parallel sort-reduce backend (``None`` defers to
+    ``REPRO_WORKERS``, default 1 = serial); results, stats and simulated
+    time are bit-identical for every worker count.
     """
     durable = durable or crashes is not None
     if profile is None:
@@ -216,4 +225,5 @@ def make_system(kind: str, scale_factor: float = 1.0,
         memory=memory,
         chunk_bytes=chunk,
         durable=durable,
+        workers=resolve_workers(workers),
     )

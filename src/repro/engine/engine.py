@@ -10,6 +10,7 @@ from dataclasses import asdict, dataclass, field
 import numpy as np
 
 from repro.core.external import RunHandle, SortReduceStats
+from repro.core.parallel import get_pool
 from repro.engine.api import VertexProgram
 from repro.flash.device import FlashError
 from repro.engine.superstep import SuperstepExecutor
@@ -90,7 +91,7 @@ class GraFBoostEngine:
                  chunk_bytes: int, fanout: int = 16, memory=None,
                  lazy: bool = True, max_overlays: int = 64,
                  checkpoint_every: int = 0, checkpoint_prefix: str = "ckpt",
-                 auto_resume: bool = False):
+                 auto_resume: bool = False, workers: int = 1):
         self.graph = graph
         self.store = store
         self.backend = backend
@@ -100,6 +101,11 @@ class GraFBoostEngine:
         self.memory = memory
         self.lazy = lazy
         self.max_overlays = max_overlays
+        # Parallel sort-reduce: N >= 2 attaches the shared worker pool;
+        # N == 1 is byte-for-byte the serial path (pool is None).  Either
+        # way results and simulated time are bit-identical.
+        self.workers = workers
+        self.pool = get_pool(workers)
         # Crash tolerance: every `checkpoint_every` supersteps, persist the
         # vertex data, frontier run and superstep counter to the (durable)
         # store; `auto_resume` makes run() continue from the newest matching
@@ -145,6 +151,7 @@ class GraFBoostEngine:
         executor = SuperstepExecutor(
             self.graph, vertices, program, self.store, self.backend,
             self.chunk_bytes, fanout=self.fanout, memory=self.memory, lazy=self.lazy,
+            pool=self.pool,
         )
         last_checkpoint = superstep
         while superstep < limit:

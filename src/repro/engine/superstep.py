@@ -24,7 +24,6 @@ import numpy as np
 
 from repro.core.external import ExternalSortReducer, RunHandle, SortReduceStats
 from repro.core.kvstream import KVArray
-from repro.flash.device import FlashError
 from repro.engine.api import VertexProgram
 from repro.graph.formats import FlashCSR
 from repro.graph.vertexdata import VertexArray
@@ -46,7 +45,7 @@ class SuperstepExecutor:
 
     def __init__(self, graph: FlashCSR, vertices: VertexArray, program: VertexProgram,
                  store, backend, chunk_bytes: int, fanout: int = 16,
-                 memory=None, lazy: bool = True):
+                 memory=None, lazy: bool = True, pool=None):
         self.graph = graph
         self.vertices = vertices
         self.program = program
@@ -56,6 +55,7 @@ class SuperstepExecutor:
         self.fanout = fanout
         self.memory = memory
         self.lazy = lazy
+        self.pool = pool
 
     @property
     def clock(self):
@@ -92,9 +92,10 @@ class SuperstepExecutor:
                 traversed += self._push_edges(reducer, active_keys, active_values)
             overlay.close()
             new_run = reducer.finish()
-        except FlashError:
-            # The device failed mid-superstep: release the reducer's DRAM
-            # buffer and run files, then let the typed error propagate.
+        except Exception:
+            # The superstep failed (device error, worker death, bad program
+            # output): release the reducer's DRAM buffer and run files, then
+            # let the typed error propagate.
             reducer.close()
             raise
         return SuperstepOutcome(
@@ -151,7 +152,7 @@ class SuperstepExecutor:
                                                   records["v"].copy())
                 self.store.delete(active_file)
             new_run = reducer.finish()
-        except FlashError:
+        except Exception:
             reducer.close()
             raise
         return SuperstepOutcome(
@@ -169,6 +170,7 @@ class SuperstepExecutor:
             self.store, self.program.reduce_op, self.program.value_dtype,
             self.backend, self.chunk_bytes, fanout=self.fanout,
             name_prefix=f"{self.program.name}-s{superstep}", memory=self.memory,
+            pool=self.pool,
         )
 
     def _push_edges(self, reducer: ExternalSortReducer, active_keys: np.ndarray,

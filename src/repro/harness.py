@@ -136,7 +136,8 @@ def run_grafboost_system(kind: str, graph: CSRGraph, algorithm: str,
                          faults=None, crashes=None,
                          checkpoint_every: int = 0,
                          durable: bool = False,
-                         sanitize: bool | None = None) -> WorkloadResult:
+                         sanitize: bool | None = None,
+                         workers: int | None = None) -> WorkloadResult:
     """Run one of the GraFBoost-family engines on an algorithm.
 
     ``faults`` (a :class:`~repro.flash.faults.FaultPlan`) makes the run a
@@ -145,6 +146,9 @@ def run_grafboost_system(kind: str, graph: CSRGraph, algorithm: str,
     injects power losses; the run then goes through the
     :func:`run_with_crashes` crash→remount→resume loop.  ``sanitize``
     attaches FlashSan to the device (``None`` defers to ``REPRO_SANITIZE``).
+    ``workers`` turns on parallel sort-reduce (``None`` defers to
+    ``REPRO_WORKERS``); results and simulated time are bit-identical for
+    any worker count.
     """
     if crashes is not None:
         return run_with_crashes(kind, graph, algorithm, scale=scale,
@@ -153,10 +157,12 @@ def run_grafboost_system(kind: str, graph: CSRGraph, algorithm: str,
                                 dram_bytes=dram_bytes, profile=profile,
                                 dataset=dataset, seed_root=seed_root,
                                 pagerank_iterations=pagerank_iterations,
-                                faults=faults, sanitize=sanitize)
+                                faults=faults, sanitize=sanitize,
+                                workers=workers)
     system = make_system(kind.lower(), scale, dram_bytes=dram_bytes,
                          num_vertices_hint=graph.num_vertices, profile=profile,
-                         faults=faults, durable=durable, sanitize=sanitize)
+                         faults=faults, durable=durable, sanitize=sanitize,
+                         workers=workers)
     flash_graph = system.load_graph(graph)
     engine = system.engine_for(flash_graph, graph.num_vertices,
                                checkpoint_every=checkpoint_every)
@@ -214,7 +220,8 @@ def run_with_crashes(kind: str, graph: CSRGraph, algorithm: str,
                      dataset: str = "?", seed_root: int | None = None,
                      pagerank_iterations: int = 1,
                      faults=None, max_remounts: int = 10_000,
-                     sanitize: bool | None = None) -> WorkloadResult:
+                     sanitize: bool | None = None,
+                     workers: int | None = None) -> WorkloadResult:
     """Run an algorithm under power-loss injection: crash → remount → resume.
 
     The stack is built durable; every :class:`PowerLossError` the injector
@@ -236,7 +243,7 @@ def run_with_crashes(kind: str, graph: CSRGraph, algorithm: str,
     system = make_system(kind.lower(), scale, dram_bytes=dram_bytes,
                          num_vertices_hint=graph.num_vertices, profile=profile,
                          faults=faults, crashes=crashes, durable=True,
-                         sanitize=sanitize)
+                         sanitize=sanitize, workers=workers)
     remounts = 0
 
     def remount() -> None:
@@ -364,7 +371,8 @@ def run_cell(system: str, graph: CSRGraph, algorithm: str,
              grafboost_profile: HardwareProfile | None = None,
              faults=None, crashes=None,
              checkpoint_every: int = 0,
-             sanitize: bool | None = None) -> WorkloadResult:
+             sanitize: bool | None = None,
+             workers: int | None = None) -> WorkloadResult:
     """Dispatch one (system, algorithm) cell with shared conventions.
 
     ``server_profile`` is the host every *software* system runs on (the
@@ -387,7 +395,7 @@ def run_cell(system: str, graph: CSRGraph, algorithm: str,
                                     pagerank_iterations=pagerank_iterations,
                                     faults=faults, crashes=crashes,
                                     checkpoint_every=checkpoint_every,
-                                    sanitize=sanitize)
+                                    sanitize=sanitize, workers=workers)
     return run_baseline_system(system, graph, algorithm, server_profile,
                                scale=scale, cutoff_s=cutoff_s, dataset=dataset,
                                pagerank_iterations=pagerank_iterations)

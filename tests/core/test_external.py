@@ -197,3 +197,43 @@ def test_external_equals_in_memory(n, key_range, seed):
     assert out.keys.astype(np.int64).tolist() == nonzero.tolist()
     assert np.allclose(out.values, expected[nonzero])
     assert stats.total_input_pairs == n
+
+
+# ---------------------------------------------------------- stats aggregation
+
+
+def test_stats_record_order_independent():
+    """Per-phase accumulation is commutative: shuffled record order (as a
+    parallel drain may produce) yields identical phases and fractions."""
+    from repro.core.external import SortReduceStats
+
+    records = [(0, 100, 40), (1, 70, 30), (0, 50, 20), (2, 30, 10),
+               (1, 30, 20), (0, 25, 5)]
+    shuffled = [records[i] for i in (3, 0, 5, 1, 4, 2)]
+    a, b = SortReduceStats(), SortReduceStats()
+    a.total_input_pairs = b.total_input_pairs = 175
+    for r in records:
+        a.record(*r)
+    for r in shuffled:
+        b.record(*r)
+    assert a.to_dict() == b.to_dict()
+    assert a.written_fractions() == b.written_fractions()
+    assert [p.phase for p in a.phases] == [0, 1, 2]
+    assert a.final_pairs == b.final_pairs == 10
+
+
+def test_stats_merge_matches_single_accumulator():
+    from repro.core.external import SortReduceStats
+
+    records = [(0, 100, 40), (1, 70, 30), (0, 50, 20), (2, 30, 10)]
+    whole = SortReduceStats()
+    parts = [SortReduceStats() for _ in range(3)]
+    for i, r in enumerate(records):
+        whole.record(*r)
+        whole.total_input_pairs += r[1]
+        parts[i % 3].record(*r)
+        parts[i % 3].total_input_pairs += r[1]
+    merged = SortReduceStats()
+    for part in reversed(parts):  # merge order must not matter
+        merged.merge(part)
+    assert merged.to_dict() == whole.to_dict()

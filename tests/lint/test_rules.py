@@ -57,6 +57,15 @@ def test_rl001_skips_harness_and_benchmarks():
     assert lint_source(bad, "benchmarks/bench_x.py") == []
 
 
+def test_rl001_skips_parallel_worker_pool():
+    # The pool is host-side orchestration (queue timeouts, process joins);
+    # the sim-clock goldens already pin that it cannot leak wall-clock time
+    # into simulated results.
+    bad = "import time\nstamp = time.monotonic()\n"
+    assert lint_source(bad, "src/repro/core/parallel.py") == []
+    assert "RL001" in rules_hit(bad, SIM_PATH)
+
+
 def test_rl001_tracks_import_aliases():
     bad = """
         from time import perf_counter as pc

@@ -18,17 +18,27 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.algorithms.bfs import run_bfs
+from repro.algorithms.cc import run_label_propagation
+from repro.algorithms.pagerank import run_pagerank
 from repro.core import backend_for_profile
 from repro.core.external import ExternalSortReducer
 from repro.core.kvstream import KVArray
+from repro.core.parallel import SortReducePool
 from repro.core.reduce_ops import SUM
+from repro.engine.config import make_system
 from repro.flash.aoffs import AppendOnlyFlashFS
 from repro.flash.device import FlashDevice, FlashGeometry
-from repro.flash.faults import FaultPlan
+from repro.flash.faults import CrashPlan, FaultPlan
 from repro.flash.filestore import SSDFileSystem
 from repro.flash.ftl import SSD
 from repro.graph.formats import FlashCSR, coalesce_ranges
-from repro.harness import load_dataset, run_grafboost_system
+from repro.harness import (
+    default_root,
+    load_dataset,
+    run_grafboost_system,
+    run_with_crashes,
+)
 from repro.perf.clock import SimClock
 from repro.perf.profiles import GRAFSOFT
 
@@ -318,6 +328,125 @@ def test_sanitized_bfs_bit_identical(system):
     assert sanitized.flash_bytes == plain.flash_bytes
     assert sanitized.traversed_edges == plain.traversed_edges
     assert sanitized.supersteps == plain.supersteps
+
+
+# --------------------------------------------------------------------------
+# parallel sort-reduce invariance: --workers N is bit-identical to serial
+# --------------------------------------------------------------------------
+# The worker pool only parallelizes pure numpy compute; every store write,
+# clock charge and stats record replays the serial order on the main
+# process.  These tests enforce that contract end to end: the same pinned
+# goldens as above, for every worker count.
+
+
+@pytest.mark.parametrize("workers", [2, 4, 8])
+def test_sim_clock_invariance_external_sort_reduce_parallel(workers):
+    clock = SimClock()
+    device = FlashDevice(FlashGeometry(8192, 32, 2048), GRAFSOFT, clock)
+    store = SSDFileSystem(SSD(device))
+    backend = backend_for_profile(GRAFSOFT)
+    pool = SortReducePool(workers)
+    try:
+        red = ExternalSortReducer(store, SUM, np.float64, backend,
+                                  chunk_bytes=1 << 18, fanout=4, pool=pool)
+        rng = np.random.default_rng(42)
+        for _ in range(40):
+            red.add(KVArray(rng.integers(0, 5000, 20000).astype(np.uint64),
+                            rng.random(20000)))
+        out = red.finish()
+    finally:
+        pool.shutdown()
+
+    # Exactly the serial goldens, bit for bit.
+    assert red.stats.written_fractions() == [0.29457, 0.07499875, 0.01875, 0.00625]
+    assert clock.elapsed_s == 0.1007425589028993
+    assert clock.bytes_moved("flash") == 10567680
+    result = out.read_all()
+    assert len(result) == 5000
+    assert result.is_strictly_sorted()
+    assert float(result.values.sum()) == pytest.approx(399794.22426748613, abs=1e-6)
+
+
+def _run_algorithm_with_workers(algorithm: str, workers: int):
+    graph = load_dataset("kron30", scale=1 / 65536, seed=7)
+    system = make_system("grafsoft", 1 / 65536,
+                         num_vertices_hint=graph.num_vertices, workers=workers)
+    flash_graph = system.load_graph(graph)
+    engine = system.engine_for(flash_graph, graph.num_vertices)
+    if algorithm == "pagerank":
+        result = run_pagerank(engine, graph.num_vertices, 2)
+    elif algorithm == "bfs":
+        result = run_bfs(engine, default_root(graph))
+    else:
+        result = run_label_propagation(engine)
+    return (result.final_values(), result.elapsed_s,
+            system.clock.bytes_moved("flash"),
+            [s.to_dict() for s in result.sort_stats])
+
+
+@pytest.mark.parametrize("algorithm", ["pagerank", "bfs", "cc"])
+def test_worker_sweep_bit_identical(algorithm):
+    base_values, base_elapsed, base_flash, base_stats = \
+        _run_algorithm_with_workers(algorithm, 1)
+    for workers in (2, 4, 8):
+        values, elapsed, flash, stats = \
+            _run_algorithm_with_workers(algorithm, workers)
+        assert np.array_equal(values, base_values), (algorithm, workers)
+        assert elapsed == base_elapsed, (algorithm, workers)
+        assert flash == base_flash, (algorithm, workers)
+        assert stats == base_stats, (algorithm, workers)
+
+
+def test_crash_recovery_bit_identical_under_parallel_merge():
+    """Power loss mid sort-reduce with workers in flight: the crash →
+    remount → resume loop must land on the same bits as the serial run."""
+    import itertools
+
+    import repro.core.dense as dense_mod
+    import repro.core.external as external_mod
+    import repro.graph.vertexdata as vertexdata_mod
+
+    # The crash runs are durable, and a durable store journals file *names*
+    # to flash — so any global name counter whose digit count drifts between
+    # runs changes journal bytes, and with them the low bits of elapsed_s.
+    # Pin every such counter before each run: identical names, and the only
+    # variable left between the runs is the worker count.
+    def pin_name_counters():
+        external_mod._run_counter = itertools.count(1000)
+        vertexdata_mod._va_counter = itertools.count(1000)
+        dense_mod._dense_counter = itertools.count(1000)
+
+    graph = load_dataset("kron30", scale=1 / 65536, seed=7)
+    # Count device ops on an uninterrupted run to aim the crash inside the
+    # engine run (past graph load), then crash both a serial and a parallel
+    # run at the same op index.
+    system = make_system("grafsoft", 1 / 65536,
+                         num_vertices_hint=graph.num_vertices,
+                         crashes=CrashPlan(crashes=0))
+    flash_graph = system.load_graph(graph)
+    load_ops = system.device.crashes.op_index
+    engine = system.engine_for(flash_graph, graph.num_vertices)
+    pin_name_counters()
+    clean = run_pagerank(engine, graph.num_vertices, 2)
+    total_ops = system.device.crashes.op_index
+    plan_ops = (load_ops + (total_ops - load_ops) // 2,)
+
+    def crashed(workers):
+        pin_name_counters()
+        return run_with_crashes(
+            "GraFSoft", graph, "pagerank", scale=1 / 65536,
+            crashes=CrashPlan(at_ops=plan_ops, torn_write_p=0.5),
+            checkpoint_every=1, pagerank_iterations=2, workers=workers)
+
+    serial = crashed(1)
+    parallel = crashed(4)
+    assert serial.completed and parallel.completed
+    assert serial.power_losses == parallel.power_losses == 1
+    assert np.array_equal(parallel.final_values, serial.final_values)
+    assert parallel.elapsed_s == serial.elapsed_s
+    assert parallel.flash_bytes == serial.flash_bytes
+    assert parallel.remounts == serial.remounts
+    assert np.array_equal(serial.final_values, clean.final_values())
 
 
 def test_sanitizer_actually_observed_the_run():
