@@ -140,6 +140,83 @@ def test_fig13c_bfs_sweep(benchmark):
     assert flat(column(rows, "GraFBoost"))
 
 
+def run_mode_dram_sweep():
+    """Engine-mode sweep across the semi-external DRAM-budget threshold.
+
+    The Fig 13 x-axis, applied to the *real* engine's execution modes:
+    DRAM from 400% down to 50% of the vertex-data footprint (value bytes +
+    touched byte per vertex).  The adaptive policy pins vertex data only
+    when the footprint fits half the budget, so the trace crosses over
+    from ``semiexternal`` to a streaming mode partway down the sweep —
+    and at 50% the static semi-external run shows why: it thrashes.
+    """
+    import numpy as np
+
+    from repro.engine.modes import semiexternal_footprint
+    from repro.harness import run_grafboost_system
+    from repro.perf.report import mode_trace_summary
+
+    graph = load_dataset(DATASET, SCALE)
+    footprint = semiexternal_footprint(graph.num_vertices, np.dtype("<f8"))
+    rows = []
+    for percent in MEMORY_PERCENTS:
+        dram = max(4096, footprint * percent // 100)
+        row = [f"{percent}%"]
+        by_mode = {}
+        for mode in ("sortreduce", "semiexternal", "densescan", "adaptive"):
+            cell = run_grafboost_system(
+                "GraFSoft", graph, "pagerank", scale=SCALE, dataset=DATASET,
+                dram_bytes=dram, mode=mode, pagerank_iterations=2)
+            by_mode[mode] = cell
+            row.append(round(cell.elapsed_s * 1000, 3))
+        row.append(mode_trace_summary(by_mode["adaptive"].mode_trace))
+        rows.append((percent, dram, row, by_mode))
+    return footprint, rows
+
+
+def test_fig13e_engine_mode_dram_sweep(benchmark):
+    """The adaptive crossover: semi-external above the fit threshold,
+    streaming below it, with the 50% point showing the thrash it avoids."""
+    from repro.engine.modes import SEMI_FIT_HEADROOM
+
+    footprint, rows = benchmark.pedantic(run_mode_dram_sweep,
+                                         rounds=1, iterations=1)
+    table_rows = [row for _, _, row, _ in rows]
+    emit_results("fig13e_engine_mode_dram_sweep", format_table(
+        ["memory", "sortreduce", "semiexternal", "densescan", "adaptive",
+         "adaptive trace"],
+        table_rows,
+        title=("Fig 13e: engine execution modes, PageRank on WDC vs DRAM "
+               "budget (simulated ms; memory as % of vertex-data footprint)")))
+    saw_semi = saw_streaming = False
+    for percent, dram, _, by_mode in rows:
+        trace = by_mode["adaptive"].mode_trace
+        # The policy's threshold, applied exactly as the engine computes it
+        # (the budget never drops below the 4-chunk floor of make_system).
+        budget = max(dram, 4 * 64 * 1024)
+        fits = footprint <= budget * SEMI_FIT_HEADROOM
+        if fits:
+            saw_semi = True
+            assert set(trace) == {"semiexternal"}, (percent, trace)
+            # Free mode switch: adaptive == the static mode it chose.
+            assert (by_mode["adaptive"].elapsed_s
+                    == by_mode["semiexternal"].elapsed_s), percent
+        else:
+            saw_streaming = True
+            assert "semiexternal" not in trace, (percent, trace)
+        statics = {m: by_mode[m].elapsed_s
+                   for m in ("sortreduce", "semiexternal", "densescan")}
+        assert by_mode["adaptive"].elapsed_s <= min(statics.values()) * 1.10, \
+            (percent, statics)
+    # The sweep actually crosses the threshold (both regimes observed).
+    assert saw_semi and saw_streaming
+    # The smallest memory point is where pinning backfires: static
+    # semi-external thrashes and the adaptive fallback strictly beats it.
+    _, _, _, smallest = rows[-1]
+    assert (smallest["adaptive"].elapsed_s
+            < smallest["semiexternal"].elapsed_s)
+
+
 def test_fig13d_bc_sweep(benchmark):
     rows = benchmark.pedantic(run_sweep, args=("bc",), rounds=1, iterations=1)
     emit_results("fig13d_bc_sweep", sweep_table("bc", rows))

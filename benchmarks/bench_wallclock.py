@@ -55,6 +55,7 @@ from repro.graph import datasets
 from repro.graph.formats import FlashCSR
 from repro.harness import load_dataset, run_grafboost_system
 from repro.perf.clock import SimClock
+from repro.perf.report import mode_trace_summary
 from repro.perf.profiles import GRAFSOFT
 
 #: The profiled workload of the perf issue: kron30 at 1/2048 vertex scale,
@@ -235,6 +236,78 @@ def bench_parallel_scaling(cfg) -> dict:
     }
 
 
+#: The three mode_comparison workloads: one per regime the adaptive policy
+#: has to recognise.  Sizes are fixed (not scaled by ``--quick``) because the
+#: regimes themselves are scale-dependent — shrinking the dense workload
+#: makes its vertex data fit in DRAM and the comparison stops meaning
+#: anything.  All three are small; the whole bench runs in seconds.
+MODE_WORKLOADS = [
+    # All-active PageRank whose vertex data overflows a 64 KB DRAM budget:
+    # semi-external thrashes (random page faults), streaming modes win.
+    ("dense_frontier", "kron30", "pagerank", 1 / 16384,
+     dict(pagerank_iterations=2, dram_bytes=64 * 1024)),
+    # High-diameter webcrawl BFS: hundreds of supersteps with tiny
+    # frontiers.  A full scan per superstep (densescan) is the clear
+    # loser; pinned vertex data with selective gathers wins.
+    ("sparse_frontier", "wdc", "bfs", 1 / (1 << 18),
+     dict(dram_bytes=4 * 1024 * 1024)),
+    # Same dense PageRank but with DRAM sized to hold the vertex data:
+    # semi-external sheds all intermediate run traffic and wins.
+    ("vertex_data_fits", "kron30", "pagerank", 1 / 16384,
+     dict(pagerank_iterations=2, dram_bytes=4 * 1024 * 1024)),
+]
+
+
+def bench_mode_comparison(cfg) -> dict:
+    """Simulated elapsed_s of every execution mode on the three regimes.
+
+    Asserts the adaptive contract where it is measured: on each workload
+    the adaptive run lands within 10% of the best static mode and strictly
+    beats the worst, and its per-superstep decision trace is identical
+    across ``--workers 1/2/4``.
+    """
+    t0 = time.perf_counter()
+    workloads = {}
+    for name, dataset, algorithm, scale, kwargs in MODE_WORKLOADS:
+        graph = load_dataset(dataset, scale=scale, seed=7)
+        rows = {}
+        for mode in ("sortreduce", "semiexternal", "densescan", "adaptive"):
+            result = run_grafboost_system("GraFSoft", graph, algorithm,
+                                          scale=scale, dataset=dataset,
+                                          mode=mode, **kwargs)
+            rows[mode] = {"elapsed_s": result.elapsed_s,
+                          "flash_bytes": result.flash_bytes,
+                          "supersteps": result.supersteps}
+            if mode == "adaptive":
+                rows[mode]["trace"] = mode_trace_summary(result.mode_trace)
+                for workers in (2, 4):
+                    again = run_grafboost_system(
+                        "GraFSoft", graph, algorithm, scale=scale,
+                        dataset=dataset, mode=mode, workers=workers, **kwargs)
+                    assert again.mode_trace == result.mode_trace, \
+                        (name, workers, "adaptive trace not deterministic")
+                    assert again.elapsed_s == result.elapsed_s, (name, workers)
+        statics = {m: rows[m]["elapsed_s"]
+                   for m in ("sortreduce", "semiexternal", "densescan")}
+        best = min(statics, key=statics.get)
+        worst = max(statics, key=statics.get)
+        adaptive_s = rows["adaptive"]["elapsed_s"]
+        assert adaptive_s <= statics[best] * 1.10, \
+            (name, "adaptive not within 10% of best", adaptive_s, statics)
+        assert adaptive_s < statics[worst], \
+            (name, "adaptive no better than worst", adaptive_s, statics)
+        workloads[name] = {
+            "dataset": dataset, "algorithm": algorithm, "scale": scale,
+            **{k: v for k, v in kwargs.items()},
+            "modes": rows,
+            "best_static": best,
+            "worst_static": worst,
+            "adaptive_vs_best": adaptive_s / statics[best],
+            "adaptive_vs_worst": adaptive_s / statics[worst],
+        }
+    return {"seconds": time.perf_counter() - t0, "workloads": workloads}
+
+
 BENCHES = [
     ("chunk_sort", bench_chunk_sort),
     ("merge_reduce", bench_merge_reduce),
@@ -242,6 +315,7 @@ BENCHES = [
     ("pagerank_e2e", bench_pagerank_e2e),
     ("dataset_cache", bench_dataset_cache),
     ("parallel_scaling", bench_parallel_scaling),
+    ("mode_comparison", bench_mode_comparison),
 ]
 
 

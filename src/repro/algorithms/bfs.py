@@ -60,6 +60,9 @@ class BFSProgram(VertexProgram):
         # The root's recorded parent is itself, as in Graph500 outputs.
         return single_seed(self.root, np.uint64(self.root), self.value_dtype)
 
+    def initial_frontier_hint(self, num_vertices: int) -> int:
+        return 1  # single-root seed
+
 
 def run_bfs(engine: GraFBoostEngine, root: int,
             max_supersteps: int | None = None) -> RunResult:

@@ -53,6 +53,9 @@ class SSSPProgram(VertexProgram):
             raise ValueError(f"root {self.root} out of range [0, {num_vertices})")
         return single_seed(self.root, np.float64(0.0), self.value_dtype)
 
+    def initial_frontier_hint(self, num_vertices: int) -> int:
+        return 1  # single-root seed
+
 
 def run_sssp(engine: GraFBoostEngine, root: int,
              max_supersteps: int | None = None) -> RunResult:

@@ -11,7 +11,7 @@ patience, like stopping a run by hand).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

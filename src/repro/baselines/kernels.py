@@ -3,12 +3,18 @@
 The four baselines differ in *where data lives and what I/O each superstep
 costs*, not in what they compute — so the per-superstep computation is
 factored here and every engine produces identical (cross-validated) answers.
+
+Reductions go through :mod:`repro.core.reduce_ops` — the same audited op
+table the sort-reduce engine and the execution modes use — so FIRST/LAST
+ordering semantics are defined in exactly one place.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core.kvstream import KVArray
+from repro.core.reduce_ops import FIRST, SUM
 from repro.graph.csr import CSRGraph
 
 #: Parent/label marker for untouched vertices (matches the engine's value).
@@ -37,12 +43,13 @@ def bfs_expand(graph: CSRGraph, frontier: np.ndarray,
     targets, sources = targets[fresh_mask], sources[fresh_mask]
     if len(targets) == 0:
         return np.empty(0, np.int64), total
-    # First writer wins, like the FIRST reduction.
-    order = np.argsort(targets, kind="stable")
-    targets, sources = targets[order], sources[order]
-    first = np.concatenate([[True], targets[1:] != targets[:-1]])
-    next_frontier = targets[first]
-    parents[next_frontier] = sources[first].astype(parents.dtype)
+    # First writer wins — the engine's FIRST reduction, via the shared op
+    # table (stable sort keeps stream order within equal keys).
+    pairs = KVArray(targets.astype(np.uint64),
+                    sources.astype(np.uint64)).sorted()
+    winners = FIRST.reduce_sorted(pairs, presorted=True)
+    next_frontier = winners.keys.astype(np.int64)
+    parents[next_frontier] = winners.values.astype(parents.dtype)
     return next_frontier, total
 
 
@@ -53,8 +60,12 @@ def pagerank_iteration(graph: CSRGraph, rank: np.ndarray, degrees: np.ndarray,
     src, dst = graph.edge_list()
     src_i, dst_i = src.astype(np.int64), dst.astype(np.int64)
     contributions = np.zeros(n)
+    touched = np.zeros(n, dtype=bool)
     pushing = degrees[src_i] > 0
-    np.add.at(contributions, dst_i[pushing], rank[src_i[pushing]] / degrees[src_i[pushing]])
+    # SUM through the shared dense-aggregation path (stable sort keeps the
+    # per-key addition sequence in stream order, matching np.add.at).
+    SUM.scatter_into(contributions, touched, dst_i[pushing],
+                     rank[src_i[pushing]] / degrees[src_i[pushing]])
     new_rank = (1 - damping) / n + damping * contributions
     return np.where(has_inbound, new_rank, rank)
 

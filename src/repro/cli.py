@@ -18,6 +18,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.engine.modes import MODES as EXECUTION_MODES
 from repro.flash.device import FlashError
 from repro.flash.faults import CrashPlan, FaultPlan
 from repro.graph.datasets import DATASETS, DEFAULT_SCALE
@@ -41,6 +42,7 @@ from repro.perf.report import (
     format_table,
     human_bytes,
     human_seconds,
+    mode_trace_summary,
     superstep_timeline,
 )
 
@@ -113,6 +115,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "family engines (default: REPRO_WORKERS or 1); "
                           "results and simulated time are bit-identical "
                           "for any N")
+    run.add_argument("--mode", choices=list(EXECUTION_MODES), default=None,
+                     help="engine execution mode for the GraFBoost-family "
+                          "systems (default: REPRO_MODE or sortreduce); "
+                          "adaptive picks per superstep and reports the "
+                          "decision trace")
 
     compare = sub.add_parser("compare", help="run a figure-style matrix")
     compare.add_argument("--dataset", choices=sorted(DATASETS), default="kron28")
@@ -184,6 +191,11 @@ def cmd_run(args) -> int:
               f"({', '.join(GRAFBOOST_FAMILY)}), not {args.system}",
               file=sys.stderr)
         return 2
+    if args.mode is not None and args.system not in GRAFBOOST_FAMILY:
+        print(f"--mode only applies to the simulated flash stacks "
+              f"({', '.join(GRAFBOOST_FAMILY)}), not {args.system}",
+              file=sys.stderr)
+        return 2
     checkpoint_every = args.checkpoint_every
     if checkpoint_every is None:
         checkpoint_every = 4 if args.crashes is not None else 0
@@ -193,7 +205,7 @@ def cmd_run(args) -> int:
                         crashes=args.crashes,
                         checkpoint_every=checkpoint_every,
                         sanitize=True if args.sanitize else None,
-                        workers=args.workers)
+                        workers=args.workers, mode=args.mode)
     except FlashError as e:
         print(f"{args.system} {args.algorithm}: aborted on "
               f"{type(e).__name__}: {e}", file=sys.stderr)
@@ -211,6 +223,8 @@ def cmd_run(args) -> int:
         ["flash traffic", human_bytes(cell.flash_bytes)],
         ["peak memory", human_bytes(cell.memory_bytes)],
     ]
+    if cell.mode_trace:
+        rows.append(["mode trace", mode_trace_summary(cell.mode_trace)])
     if args.faults is not None:
         rows += [
             ["corrected bit errors", f"{cell.corrected_bit_errors:,}"],
@@ -238,7 +252,7 @@ def _run_with_timeline(args, graph) -> int:
 
     system = make_system(args.system.lower(), args.scale,
                          num_vertices_hint=graph.num_vertices,
-                         workers=args.workers)
+                         workers=args.workers, mode=args.mode)
     flash_graph = system.load_graph(graph)
     engine = system.engine_for(flash_graph, graph.num_vertices)
     if args.algorithm == "pagerank":

@@ -34,6 +34,17 @@ from repro.flash.device import FlashError
 
 _run_counter = itertools.count()
 
+
+def next_run_seq() -> int:
+    """Next value of the shared run-name counter.
+
+    Every engine-owned run file — sort-reducer prefixes and the execution
+    modes' DRAM-aggregated runs — draws from this one sequence, so names
+    stay unique within a store and tests that pin the counter (crash
+    goldens need stable file-name lengths) cover all of them.
+    """
+    return next(_run_counter)
+
 #: I/O transfer unit for merge-phase reads, matching the software
 #: implementation's "large 4 MB chunks" (§IV-F).
 MERGE_IO_BYTES = 4 * 1024 * 1024

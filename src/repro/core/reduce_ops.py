@@ -92,6 +92,36 @@ class ReduceOp:
             return self.ufunc(a, b)
         return np.array([self.scalar(x, y) for x, y in zip(a, b)], dtype=a.dtype)
 
+    def scatter_into(self, out_values: np.ndarray, touched: np.ndarray,
+                     keys: np.ndarray, values: np.ndarray) -> int:
+        """Reduce one batch of (key, value) updates into a dense value table.
+
+        ``out_values`` is indexed by key; ``touched`` marks slots that hold a
+        previously-scattered value (untouched slots are *assigned*, touched
+        slots are *combined*).  Batch-internal duplicates are collapsed with
+        a stable sort first, so for the non-commutative operators (FIRST/
+        LAST) the earliest/latest update *in stream order* wins — both
+        within a batch and across successive batches.  This is the one
+        shared dense-aggregation path: the semi-external execution mode and
+        the baseline compute kernels all reduce through it, so the ordering
+        rules live in exactly one audited place.
+
+        Returns the number of distinct keys in the batch.
+        """
+        if len(keys) == 0:
+            return 0
+        kv = KVArray(np.asarray(keys, dtype=np.uint64), np.asarray(values)).sorted()
+        reduced = self.reduce_sorted(kv, presorted=True)
+        idx = reduced.keys.astype(np.int64)
+        seen = touched[idx]
+        fresh = ~seen
+        out_values[idx[fresh]] = reduced.values[fresh]
+        if seen.any():
+            hot = idx[seen]
+            out_values[hot] = self.combine(out_values[hot], reduced.values[seen])
+        touched[idx] = True
+        return len(reduced)
+
 
 def group_starts(sorted_keys: np.ndarray) -> np.ndarray:
     """Indices where each distinct-key group begins in a sorted key array."""

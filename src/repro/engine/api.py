@@ -93,6 +93,16 @@ class VertexProgram:
         """
         return all_active_chunks(num_vertices, self.value_dtype, self.default_value)
 
+    def initial_frontier_hint(self, num_vertices: int) -> int:
+        """How many updates :meth:`initial_updates` will emit.
+
+        The adaptive execution mode needs superstep 0's frontier size
+        before consuming the (single-pass) update stream.  The default
+        matches the dense all-active kickoff; sparse-start programs (BFS,
+        SSSP) override alongside :meth:`initial_updates`.
+        """
+        return num_vertices
+
     # ---------------------------------------------------------------- limits
 
     def max_supersteps(self) -> int:

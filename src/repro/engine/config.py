@@ -22,6 +22,7 @@ from repro.core.accelerator import AcceleratorBackend, SoftwareBackend
 from repro.core.packing import PackingSpec
 from repro.core.parallel import resolve_workers
 from repro.engine.engine import GraFBoostEngine
+from repro.engine.modes import resolve_mode
 from repro.flash.aoffs import AppendOnlyFlashFS
 from repro.flash.device import FlashDevice, FlashGeometry
 from repro.flash.filestore import SSDFileSystem
@@ -70,6 +71,10 @@ class SystemConfig:
     #: Sort-reduce worker processes (1 = serial; resolved from
     #: ``REPRO_WORKERS`` when ``make_system`` is given ``workers=None``).
     workers: int = 1
+    #: Engine execution mode (``sortreduce`` | ``semiexternal`` |
+    #: ``densescan`` | ``adaptive``; resolved from ``REPRO_MODE`` when
+    #: ``make_system`` is given ``mode=None``).
+    mode: str = "sortreduce"
 
     def engine_for(self, graph: FlashCSR, num_vertices: int,
                    lazy: bool = True, checkpoint_every: int = 0,
@@ -79,7 +84,7 @@ class SystemConfig:
             chunk_bytes=self.chunk_bytes, fanout=self.fanout,
             memory=self.memory, lazy=lazy,
             checkpoint_every=checkpoint_every, auto_resume=auto_resume,
-            workers=self.workers,
+            workers=self.workers, mode=self.mode,
         )
 
     def load_graph(self, graph: CSRGraph, prefix: str = "graph") -> FlashCSR:
@@ -150,7 +155,8 @@ def make_system(kind: str, scale_factor: float = 1.0,
                 faults=None, crashes=None,
                 durable: bool = False,
                 sanitize: bool | None = None,
-                workers: int | None = None) -> SystemConfig:
+                workers: int | None = None,
+                mode: str | None = None) -> SystemConfig:
     """Build one of the GraFBoost-family stacks at a given scale.
 
     ``dram_bytes`` overrides the (scaled) DRAM budget — the Fig 13 memory
@@ -167,7 +173,9 @@ def make_system(kind: str, scale_factor: float = 1.0,
     device; ``None`` defers to the ``REPRO_SANITIZE`` environment variable.
     ``workers`` enables the parallel sort-reduce backend (``None`` defers to
     ``REPRO_WORKERS``, default 1 = serial); results, stats and simulated
-    time are bit-identical for every worker count.
+    time are bit-identical for every worker count.  ``mode`` selects the
+    engine execution mode (``None`` defers to ``REPRO_MODE``, default
+    ``sortreduce``; see :mod:`repro.engine.modes`).
     """
     durable = durable or crashes is not None
     if profile is None:
@@ -226,4 +234,5 @@ def make_system(kind: str, scale_factor: float = 1.0,
         chunk_bytes=chunk,
         durable=durable,
         workers=resolve_workers(workers),
+        mode=resolve_mode(mode),
     )

@@ -12,6 +12,13 @@ import numpy as np
 from repro.core.external import RunHandle, SortReduceStats
 from repro.core.parallel import get_pool
 from repro.engine.api import VertexProgram
+from repro.engine.modes import (
+    MODES,
+    AdaptivePolicy,
+    build_modes,
+    charge_mode_switch,
+    semiexternal_footprint,
+)
 from repro.flash.device import FlashError
 from repro.engine.superstep import SuperstepExecutor
 from repro.graph.formats import FlashCSR
@@ -35,6 +42,9 @@ class SuperstepMetrics:
     flash_bytes: int = 0
     flash_busy_s: float = 0.0
     compute_busy_s: float = 0.0
+    #: Execution mode this superstep ran under (the adaptive decision
+    #: trace; trailing default keeps old checkpoints restorable).
+    mode: str = "sortreduce"
 
     @property
     def flash_bandwidth(self) -> float:
@@ -68,6 +78,12 @@ class RunResult:
         return sum(s.activated for s in self.supersteps)
 
     @property
+    def mode_trace(self) -> list[str]:
+        """Execution mode of each superstep, in order (constant for static
+        modes; the per-superstep decision record for adaptive runs)."""
+        return [s.mode for s in self.supersteps]
+
+    @property
     def mteps(self) -> float:
         """Millions of traversed edges per (simulated) second."""
         if self.elapsed_s <= 0:
@@ -91,7 +107,15 @@ class GraFBoostEngine:
                  chunk_bytes: int, fanout: int = 16, memory=None,
                  lazy: bool = True, max_overlays: int = 64,
                  checkpoint_every: int = 0, checkpoint_prefix: str = "ckpt",
-                 auto_resume: bool = False, workers: int = 1):
+                 auto_resume: bool = False, workers: int = 1,
+                 mode: str = "sortreduce"):
+        if mode not in MODES:
+            raise ValueError(f"unknown execution mode {mode!r}; known: "
+                             + ", ".join(MODES))
+        # Execution mode: a static mode runs every superstep one way;
+        # "adaptive" picks per superstep (see repro.engine.modes).  The
+        # default "sortreduce" path is byte-for-byte the classic engine.
+        self.mode = mode
         self.graph = graph
         self.store = store
         self.backend = backend
@@ -153,6 +177,18 @@ class GraFBoostEngine:
             self.chunk_bytes, fanout=self.fanout, memory=self.memory, lazy=self.lazy,
             pool=self.pool,
         )
+        mode_table = build_modes(executor)
+        footprint = semiexternal_footprint(self.num_vertices, program.value_dtype)
+        policy = None
+        if self.mode == "adaptive":
+            budget = (self.memory.budget if self.memory is not None
+                      else self.store.device.profile.dram_capacity)
+            policy = AdaptivePolicy(self.num_vertices, self.graph.num_edges,
+                                    program.value_dtype, budget)
+        # The mode of the superstep before this one — restored from the
+        # checkpointed metrics on resume, so switch charges land at the
+        # same supersteps in crashed and uninterrupted runs.
+        prev_mode = result.supersteps[-1].mode if result.supersteps else None
         last_checkpoint = superstep
         while superstep < limit:
             if (self.checkpoint_every and superstep > last_checkpoint
@@ -160,10 +196,18 @@ class GraFBoostEngine:
                 self._write_checkpoint(program, result, vertices, prev_run,
                                        superstep)
                 last_checkpoint = superstep
+            if policy is not None:
+                incoming = (prev_run.num_records if prev_run is not None
+                            else program.initial_frontier_hint(self.num_vertices))
+                mode_name = policy.choose(incoming)
+            else:
+                mode_name = self.mode
             checkpoint = self.clock.checkpoint()
             flash_bytes_start = self.clock.bytes_moved("flash")
+            charge_mode_switch(self.clock, self.store.device.profile,
+                               prev_mode, mode_name, footprint)
             try:
-                outcome = executor.run(prev_chunks, superstep)
+                outcome = mode_table[mode_name].run_superstep(prev_chunks, superstep)
             except FlashError as e:
                 e.add_note(f"while running {program.name} superstep {superstep}")
                 raise
@@ -180,7 +224,9 @@ class GraFBoostEngine:
                 flash_bytes=self.clock.bytes_moved("flash") - flash_bytes_start,
                 flash_busy_s=checkpoint.busy_s("flash"),
                 compute_busy_s=checkpoint.busy_s("cpu") + checkpoint.busy_s("accel"),
+                mode=mode_name,
             ))
+            prev_mode = mode_name
             result.sort_stats.append(outcome.sort_stats)
             vertices.maybe_compact()
             superstep += 1

@@ -1,0 +1,457 @@
+"""Pluggable execution modes: sort-reduce, semi-external, dense scan.
+
+GraFBoost's sort-reduce wins on the paper's scenario — sparse frontiers over
+vertex data much larger than DRAM — but other engines win elsewhere:
+FlashGraph-style *semi-external* execution (vertex state pinned in DRAM,
+selective edge I/O) is faster whenever the vertex data fits, and
+X-Stream-style *dense scans* (stream the whole adjacency sequentially) beat
+per-vertex gathers once most vertices are active.  This module promotes
+those strategies out of :mod:`repro.baselines` into first-class execution
+modes of the real engine: every mode runs on the same simulated flash
+stack, SimClock, checkpoint protocol and ``--workers`` pool, and produces a
+sorted, reduced run file interchangeable with the sort-reduce path's.
+
+An :class:`ExecutionMode` covers one superstep end to end — update
+generation, reduction, and staging the finalized values into ``V`` — and
+returns the same :class:`~repro.engine.superstep.SuperstepOutcome` the
+default executor does, so the engine driver (metrics, checkpoints,
+quiescence) is mode-agnostic.  The three static modes:
+
+* ``sortreduce`` — today's path, byte-for-byte unchanged (pure delegation
+  to :class:`~repro.engine.superstep.SuperstepExecutor`).  The default.
+* ``semiexternal`` — a dense per-vertex value table in DRAM absorbs the
+  update stream (through the shared
+  :meth:`~repro.core.reduce_ops.ReduceOp.scatter_into` path, so FIRST/LAST
+  ordering rules stay in one place); edge I/O stays selective.  The part of
+  the table that does not fit the DRAM budget thrashes, charged with the
+  same random-page-fault model as :mod:`repro.baselines.semiexternal`.
+* ``densescan`` — one sequential scan of the full index + edge files per
+  superstep, filtered by a dense active mask, feeding the ordinary
+  external sort-reducer.  Frontier-independent I/O, promoted from
+  :mod:`repro.baselines.edgecentric`.
+
+On top, :class:`AdaptivePolicy` picks a static mode per superstep from
+stats the engine already tracks — the incoming frontier size, average
+degree vs. total edge volume, and the vertex-data footprint vs. the DRAM
+budget — and :func:`charge_mode_switch` bills the cost of entering a mode
+(loading the vertex table into DRAM) to the sim clock.  Decisions are pure
+functions of checkpointed state, so adaptive runs stay bit-identical under
+``--workers`` sweeps and crash/resume.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterator
+
+import numpy as np
+
+# DENSE_THRESHOLD is shared with the FlashGraph baseline model: the frontier
+# density above which per-vertex random reads degrade to a sequential scan.
+from repro.baselines.semiexternal import DENSE_THRESHOLD
+from repro.core.external import MERGE_IO_BYTES, RunHandle, SortReduceStats, next_run_seq
+from repro.core.kvstream import KVArray
+from repro.engine.superstep import SuperstepExecutor, SuperstepOutcome
+from repro.flash.device import FlashError
+from repro.graph.formats import OFFSET_DTYPE, TARGET_DTYPE, WEIGHT_DTYPE
+
+#: Every selectable mode (``adaptive`` picks among the static ones).
+MODES = ("sortreduce", "semiexternal", "densescan", "adaptive")
+STATIC_MODES = ("sortreduce", "semiexternal", "densescan")
+
+#: Adaptive only commits to semi-external while the vertex table uses at
+#: most this fraction of the DRAM budget, leaving headroom for the chunk
+#: buffers the other modes need if a later superstep switches away.
+SEMI_FIT_HEADROOM = 0.5
+
+#: Edge chunk of the dense scan (record count), matching
+#: :meth:`repro.graph.formats.FlashCSR.stream_edges`.
+SCAN_EDGES_PER_CHUNK = 1 << 18
+
+
+def resolve_mode(mode: str | None) -> str:
+    """``None`` defers to ``REPRO_MODE`` (default ``sortreduce``)."""
+    if mode is None:
+        env = os.environ.get("REPRO_MODE", "").strip()
+        mode = env if env else "sortreduce"
+    if mode not in MODES:
+        known = ", ".join(MODES)
+        raise ValueError(f"unknown execution mode {mode!r}; known: {known}")
+    return mode
+
+
+def semiexternal_footprint(num_vertices: int, value_dtype: np.dtype) -> int:
+    """DRAM bytes the semi-external vertex table needs: one dense value
+    slot plus one touched-mask byte per vertex."""
+    return num_vertices * (np.dtype(value_dtype).itemsize + 1)
+
+
+class ExecutionMode:
+    """One way to run a superstep against an assembled system stack.
+
+    Modes wrap the engine's :class:`SuperstepExecutor` — they reuse its
+    graph/vertex-array/store/backend wiring and its edge-push machinery —
+    and must return a :class:`SuperstepOutcome` whose ``new_run`` is a
+    sorted, reduced run file, regardless of how the reduction happened.
+    Non-default modes always use Algorithm 3's lazy staging; the eager
+    Algorithm 2 ablation exists only on the sort-reduce path.
+    """
+
+    name = "mode"
+
+    def __init__(self, executor: SuperstepExecutor):
+        self.ex = executor
+
+    def run_superstep(self, prev_newv: Iterator[KVArray],
+                      superstep: int) -> SuperstepOutcome:
+        raise NotImplementedError
+
+
+class SortReduceMode(ExecutionMode):
+    """The paper's path, unchanged: delegate to the executor verbatim."""
+
+    name = "sortreduce"
+
+    def run_superstep(self, prev_newv: Iterator[KVArray],
+                      superstep: int) -> SuperstepOutcome:
+        return self.ex.run(prev_newv, superstep)
+
+
+def _lazy_pass(ex: SuperstepExecutor, prev_newv: Iterator[KVArray],
+               superstep: int,
+               push: Callable[[np.ndarray, np.ndarray], int]) -> tuple[int, int]:
+    """Algorithm 3's finalize + activate + stage loop with a pluggable push.
+
+    Mirrors ``SuperstepExecutor._run_lazy`` exactly (that method stays
+    untouched so the default path is byte-for-byte the seed's); ``push``
+    receives each chunk's active (keys, values) and returns the number of
+    edges it traversed.  Returns ``(activated, traversed)``.
+    """
+    program = ex.program
+    cursor = ex.vertices.cursor()
+    overlay = ex.vertices.overlay_writer(superstep)
+    activated = 0
+    traversed = 0
+    for chunk in prev_newv:
+        if len(chunk) == 0:
+            continue
+        old_values, old_steps = cursor.lookup(chunk.keys)
+        finalized = program.finalize(chunk.values, old_values)
+        mask = program.is_active(finalized, old_values, old_steps, superstep)
+        active_keys = chunk.keys[mask]
+        active_values = np.asarray(finalized)[mask]
+        if len(active_keys) == 0:
+            continue
+        overlay.add(KVArray(active_keys, active_values))
+        activated += len(active_keys)
+        traversed += push(active_keys, active_values)
+    overlay.close()
+    return activated, traversed
+
+
+class DramAggregator:
+    """A dense in-DRAM vertex-update table that quacks like a sort-reducer.
+
+    ``add(kv)`` reduces each update batch straight into a per-vertex value
+    array via the shared :meth:`ReduceOp.scatter_into` path — no run files,
+    no external merging.  The table pins as much of the DRAM budget as is
+    available; updates landing in the unpinned remainder fault whole pages
+    in and out, charged with the FlashGraph thrash model
+    (:mod:`repro.baselines.semiexternal`).  ``finish()`` emits the touched
+    slots, already sorted by construction, as one sealed run file.
+    """
+
+    def __init__(self, ex: SuperstepExecutor, superstep: int):
+        program = ex.program
+        self.ex = ex
+        self.op = program.reduce_op
+        self.value_dtype = np.dtype(program.value_dtype)
+        n = max(ex.graph.num_vertices, ex.vertices.num_vertices)
+        self.values = np.zeros(n, dtype=self.value_dtype)
+        self.touched = np.zeros(n, dtype=bool)
+        self.stats = SortReduceStats()
+        self._batch_out = 0
+        # Shares the reducers' run-name counter so every engine-owned run
+        # file is unique and the crash tests can pin name lengths.
+        self.name = f"{program.name}-s{superstep}-{next_run_seq()}:run-0"
+        footprint = semiexternal_footprint(n, self.value_dtype)
+        self._mem_label = f"{self.name}:vertex-dram"
+        pinned = footprint
+        if ex.memory is not None:
+            pinned = min(footprint, ex.memory.available)
+            ex.memory.allocate(self._mem_label, pinned)
+        self._mem_allocated = ex.memory is not None
+        #: Fraction of the vertex table that did not fit in DRAM; accesses
+        #: to it fault pages in and out (FlashGraph's Fig 13 degradation).
+        self.swap = (footprint - pinned) / footprint if footprint else 0.0
+
+    @property
+    def clock(self):
+        return self.ex.store.device.clock
+
+    def add(self, kv: KVArray) -> None:
+        """Reduce one unsorted update batch into the dense table."""
+        if kv.value_dtype != self.value_dtype:
+            raise ValueError(f"value dtype {kv.value_dtype} != {self.value_dtype}")
+        if len(kv) == 0:
+            return
+        self.stats.total_input_pairs += len(kv)
+        # Sorting + reducing the batch costs the same as a chunk sort of
+        # equal volume; the dense scatter is random-access CPU work.
+        self.ex.backend.charge_chunk_sort(self.clock, kv.nbytes)
+        distinct = self.op.scatter_into(self.values, self.touched,
+                                        kv.keys, kv.values)
+        self.stats.record(0, len(kv), distinct)
+        self._batch_out += distinct
+        profile = self.ex.store.device.profile
+        scatter_bytes = distinct * (8 + self.value_dtype.itemsize)
+        self.clock.charge_pool(
+            "cpu", scatter_bytes / profile.cpu_scatter_bw_per_thread,
+            profile.cpu_threads)
+        self._charge_thrash(distinct)
+
+    def _charge_thrash(self, vertices_touched: int) -> None:
+        """Random page faults for table slots beyond the DRAM budget
+        (the baseline model's ``_charge_thrash``, against the real clock)."""
+        if self.swap <= 0 or vertices_touched == 0:
+            return
+        profile = self.ex.store.device.profile
+        page = profile.flash_page_bytes
+        faults = int(vertices_touched * self.swap)
+        if faults == 0:
+            return
+        nbytes = faults * page
+        self.clock.charge(
+            "flash", faults * profile.flash_read_latency_s
+            + nbytes / profile.flash_read_bw, nbytes=nbytes, ops=faults)
+        self.clock.charge(
+            "flash", faults * profile.flash_write_latency_s
+            + nbytes / profile.flash_write_bw, nbytes=nbytes, ops=faults)
+
+    def finish(self) -> RunHandle:
+        """Emit the touched slots as one sorted, sealed run file."""
+        store = self.ex.store
+        try:
+            idx = np.flatnonzero(self.touched)
+            n = len(idx)
+            if n == 0:
+                self.stats.record(1, self._batch_out, 0)
+                return RunHandle(store, self.name, 0, self.value_dtype)
+            out = KVArray(idx.astype(np.uint64), self.values[idx])
+            per_chunk = max(1, MERGE_IO_BYTES // out.record_bytes)
+            for start in range(0, n, per_chunk):
+                store.append(self.name,
+                             out.slice(start, min(start + per_chunk, n)).to_bytes())
+            store.seal(self.name)
+            # Folding the per-batch reductions into one table plays the
+            # merge phase's role in the stats (Fig 14's written fractions).
+            self.stats.record(1, self._batch_out, n)
+            return RunHandle(store, self.name, n, self.value_dtype, level=1)
+        finally:
+            self._free()
+
+    def abandon(self) -> None:
+        """Error path: release DRAM and delete any partial run file."""
+        self._free()
+        try:
+            if self.ex.store.exists(self.name):
+                self.ex.store.delete(self.name)
+        except FlashError:
+            pass  # best-effort cleanup on an already-failing device
+
+    def _free(self) -> None:
+        if self._mem_allocated:
+            self._mem_allocated = False
+            self.ex.memory.free(self._mem_label)
+
+
+class SemiExternalMode(ExecutionMode):
+    """Vertex data pinned in DRAM, selective edge I/O (FlashGraph-style).
+
+    Identical to the lazy sort-reduce pass on the edge side — the same
+    coalesced index/edge gathers, the same edge-stream charge — but the
+    update stream lands in a :class:`DramAggregator` instead of the
+    external sort-reducer, eliminating all intermediate run traffic.
+    """
+
+    name = "semiexternal"
+
+    def run_superstep(self, prev_newv: Iterator[KVArray],
+                      superstep: int) -> SuperstepOutcome:
+        ex = self.ex
+        agg = DramAggregator(ex, superstep)
+        try:
+            activated, traversed = _lazy_pass(
+                ex, prev_newv, superstep,
+                lambda keys, values: ex._push_edges(agg, keys, values))
+            new_run = agg.finish()
+        except Exception:
+            agg.abandon()
+            raise
+        return SuperstepOutcome(
+            new_run=new_run,
+            sort_stats=agg.stats,
+            activated=activated,
+            traversed_edges=traversed,
+            update_pairs=agg.stats.total_input_pairs,
+        )
+
+
+class DenseScanMode(ExecutionMode):
+    """Whole-adjacency streaming scan for dense frontiers (X-Stream-style).
+
+    Stages the frontier into a dense active mask, then reads the index and
+    edge files sequentially once, filters edges by source activity, and
+    feeds the surviving updates to the ordinary external sort-reducer.
+    I/O volume is frontier-independent — the winning trade exactly when
+    most vertices are active.
+    """
+
+    name = "densescan"
+
+    def run_superstep(self, prev_newv: Iterator[KVArray],
+                      superstep: int) -> SuperstepOutcome:
+        ex = self.ex
+        program = ex.program
+        n = ex.graph.num_vertices
+        active_mask = np.zeros(n, dtype=bool)
+        values_dense = np.zeros(n, dtype=program.value_dtype)
+
+        def stage(keys: np.ndarray, values: np.ndarray) -> int:
+            idx = keys.astype(np.int64)
+            active_mask[idx] = True
+            values_dense[idx] = values
+            return 0  # edges are traversed by the scan below
+
+        activated, _ = _lazy_pass(ex, prev_newv, superstep, stage)
+        reducer = ex._make_reducer(superstep)
+        try:
+            traversed = 0
+            if activated:
+                traversed = self._scan(reducer, active_mask, values_dense)
+            new_run = reducer.finish()
+        except Exception:
+            reducer.close()
+            raise
+        return SuperstepOutcome(
+            new_run=new_run,
+            sort_stats=reducer.stats,
+            activated=activated,
+            traversed_edges=traversed,
+            update_pairs=reducer.stats.total_input_pairs,
+        )
+
+    def _scan(self, reducer, active_mask: np.ndarray,
+              values_dense: np.ndarray) -> int:
+        """One sequential pass over index + edges, pushing active updates."""
+        ex = self.ex
+        program = ex.program
+        graph = ex.graph
+        n = graph.num_vertices
+        offsets = ex.store.read_array(graph.index_file, OFFSET_DTYPE).astype(np.int64)
+        degrees = np.diff(offsets)
+        srcs_all = np.repeat(np.arange(n, dtype=np.int64), degrees)
+
+        # Per-vertex message fast path, expanded to a dense lookup table so
+        # each edge chunk is one fancy index instead of a per-edge call.
+        msg_dense = None
+        if not program.uses_weights:
+            active_idx = np.flatnonzero(active_mask)
+            per_vertex = program.vertex_messages(
+                values_dense[active_idx], active_idx.astype(np.uint64),
+                degrees[active_idx].astype(np.uint64))
+            if per_vertex is not None:
+                msg_dense = np.zeros(n, dtype=program.value_dtype)
+                msg_dense[active_idx] = per_vertex
+
+        traversed = 0
+        for start in range(0, graph.num_edges, SCAN_EDGES_PER_CHUNK):
+            cnt = min(SCAN_EDGES_PER_CHUNK, graph.num_edges - start)
+            dsts = ex.store.read_array(graph.edge_file, TARGET_DTYPE, start, cnt)
+            weights = None
+            if program.uses_weights:
+                weights = ex.store.read_array(graph.weight_file, WEIGHT_DTYPE,
+                                              start, cnt)
+            srcs = srcs_all[start:start + cnt]
+            sel = active_mask[srcs]
+            hit = int(np.count_nonzero(sel))
+            if hit == 0:
+                continue
+            src_sel = srcs[sel]
+            if msg_dense is not None:
+                messages = msg_dense[src_sel]
+            else:
+                messages = program.edge_program(
+                    values_dense[src_sel], src_sel.astype(np.uint64),
+                    weights[sel] if weights is not None else None,
+                    degrees[src_sel].astype(np.uint64))
+            update = KVArray(dsts[sel],
+                             np.asarray(messages, dtype=program.value_dtype))
+            reducer.add(update)
+            ex.backend.charge_edge_stream(ex.clock, update.nbytes)
+            traversed += hit
+        return traversed
+
+
+def build_modes(executor: SuperstepExecutor) -> dict[str, ExecutionMode]:
+    """All static modes wrapping one executor (construction is charge-free)."""
+    return {mode.name: mode for mode in (
+        SortReduceMode(executor),
+        SemiExternalMode(executor),
+        DenseScanMode(executor),
+    )}
+
+
+class AdaptivePolicy:
+    """Per-superstep mode choice from stats the engine already tracks.
+
+    The decision inputs are all pure functions of checkpointed state — the
+    incoming frontier size (the previous run's record count), the graph's
+    shape, and the configured DRAM budget — so the trace is deterministic
+    across worker counts and identical on crash/resume:
+
+    1. vertex table fits comfortably in DRAM → ``semiexternal`` (no
+       external sorting at all beats both scan strategies);
+    2. dense frontier, or the selective gather would move at least as many
+       bytes as one full scan → ``densescan``;
+    3. otherwise → ``sortreduce`` (the paper's scenario: sparse frontier,
+       vertex data out of core).
+    """
+
+    def __init__(self, num_vertices: int, num_edges: int,
+                 value_dtype: np.dtype, dram_budget: int):
+        self.num_vertices = max(1, num_vertices)
+        self.avg_degree = num_edges / self.num_vertices
+        self.scan_bytes = ((num_vertices + 1) * OFFSET_DTYPE.itemsize
+                           + num_edges * TARGET_DTYPE.itemsize)
+        self.footprint = semiexternal_footprint(num_vertices, value_dtype)
+        self.dram_budget = dram_budget
+
+    def choose(self, incoming: int) -> str:
+        if self.footprint <= self.dram_budget * SEMI_FIT_HEADROOM:
+            return "semiexternal"
+        density = incoming / self.num_vertices
+        gather_bytes = incoming * self.avg_degree * TARGET_DTYPE.itemsize
+        if density >= DENSE_THRESHOLD or gather_bytes >= self.scan_bytes:
+            return "densescan"
+        return "sortreduce"
+
+
+def charge_mode_switch(clock, profile, from_mode: str | None, to_mode: str,
+                       footprint_bytes: int) -> None:
+    """Bill the cost of switching execution modes between supersteps.
+
+    Entering ``semiexternal`` streams the vertex table into DRAM (one
+    CPU-side pass over the footprint); leaving it, or moving between the
+    two flash-resident modes, is free — their state already lives in the
+    run files.  Staying in the same mode costs nothing, so a static
+    ``sortreduce`` run charges exactly zero here (golden-preserving) and an
+    adaptive run with a constant trace is bit-identical to the matching
+    static mode.
+    """
+    if from_mode is None:
+        from_mode = "sortreduce"
+    if from_mode == to_mode or to_mode != "semiexternal":
+        return
+    work = footprint_bytes / profile.cpu_stream_bw_per_thread
+    clock.charge_pool("cpu", work, profile.cpu_threads)

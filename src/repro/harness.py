@@ -115,6 +115,9 @@ class WorkloadResult:
     # Final vertex values (populated by run_with_crashes for divergence
     # checks against an uninterrupted run).
     final_values: np.ndarray | None = None
+    # Per-superstep execution modes (GraFBoost-family engines only; the
+    # adaptive decision trace — constant for static modes).
+    mode_trace: list[str] | None = None
 
     @property
     def time_or_nan(self) -> float:
@@ -137,7 +140,8 @@ def run_grafboost_system(kind: str, graph: CSRGraph, algorithm: str,
                          checkpoint_every: int = 0,
                          durable: bool = False,
                          sanitize: bool | None = None,
-                         workers: int | None = None) -> WorkloadResult:
+                         workers: int | None = None,
+                         mode: str | None = None) -> WorkloadResult:
     """Run one of the GraFBoost-family engines on an algorithm.
 
     ``faults`` (a :class:`~repro.flash.faults.FaultPlan`) makes the run a
@@ -148,7 +152,9 @@ def run_grafboost_system(kind: str, graph: CSRGraph, algorithm: str,
     attaches FlashSan to the device (``None`` defers to ``REPRO_SANITIZE``).
     ``workers`` turns on parallel sort-reduce (``None`` defers to
     ``REPRO_WORKERS``); results and simulated time are bit-identical for
-    any worker count.
+    any worker count.  ``mode`` picks the engine execution mode (``None``
+    defers to ``REPRO_MODE``; see :mod:`repro.engine.modes`) — the result
+    carries the per-superstep ``mode_trace``.
     """
     if crashes is not None:
         return run_with_crashes(kind, graph, algorithm, scale=scale,
@@ -158,11 +164,11 @@ def run_grafboost_system(kind: str, graph: CSRGraph, algorithm: str,
                                 dataset=dataset, seed_root=seed_root,
                                 pagerank_iterations=pagerank_iterations,
                                 faults=faults, sanitize=sanitize,
-                                workers=workers)
+                                workers=workers, mode=mode)
     system = make_system(kind.lower(), scale, dram_bytes=dram_bytes,
                          num_vertices_hint=graph.num_vertices, profile=profile,
                          faults=faults, durable=durable, sanitize=sanitize,
-                         workers=workers)
+                         workers=workers, mode=mode)
     flash_graph = system.load_graph(graph)
     engine = system.engine_for(flash_graph, graph.num_vertices,
                                checkpoint_every=checkpoint_every)
@@ -178,12 +184,14 @@ def run_grafboost_system(kind: str, graph: CSRGraph, algorithm: str,
         elapsed, supersteps, traversed = (result.elapsed_s, result.num_supersteps,
                                           result.total_traversed_edges)
     elif algorithm == "bc":
-        bc = run_betweenness_centrality(engine, root)
-        elapsed, supersteps, traversed = (bc.elapsed_s, bc.num_supersteps,
-                                          bc.total_traversed_edges)
+        result = run_betweenness_centrality(engine, root)
+        elapsed, supersteps, traversed = (result.elapsed_s, result.num_supersteps,
+                                          result.total_traversed_edges)
     else:
         raise ValueError(f"unknown algorithm {algorithm!r}")
 
+    steps = (result.forward.supersteps if algorithm == "bc"
+             else result.supersteps)
     clock = system.clock
     workload = WorkloadResult(
         system=kind, algorithm=algorithm, dataset=dataset, completed=True,
@@ -191,6 +199,7 @@ def run_grafboost_system(kind: str, graph: CSRGraph, algorithm: str,
         cpu_busy_s=clock.busy_s("cpu") + clock.busy_s("accel"),
         flash_bytes=clock.bytes_moved("flash"),
         memory_bytes=system.memory.peak,
+        mode_trace=[s.mode for s in steps],
     )
     _attach_injection_stats(workload, system)
     return workload
@@ -221,7 +230,8 @@ def run_with_crashes(kind: str, graph: CSRGraph, algorithm: str,
                      pagerank_iterations: int = 1,
                      faults=None, max_remounts: int = 10_000,
                      sanitize: bool | None = None,
-                     workers: int | None = None) -> WorkloadResult:
+                     workers: int | None = None,
+                     mode: str | None = None) -> WorkloadResult:
     """Run an algorithm under power-loss injection: crash → remount → resume.
 
     The stack is built durable; every :class:`PowerLossError` the injector
@@ -243,7 +253,7 @@ def run_with_crashes(kind: str, graph: CSRGraph, algorithm: str,
     system = make_system(kind.lower(), scale, dram_bytes=dram_bytes,
                          num_vertices_hint=graph.num_vertices, profile=profile,
                          faults=faults, crashes=crashes, durable=True,
-                         sanitize=sanitize, workers=workers)
+                         sanitize=sanitize, workers=workers, mode=mode)
     remounts = 0
 
     def remount() -> None:
@@ -310,6 +320,7 @@ def run_with_crashes(kind: str, graph: CSRGraph, algorithm: str,
     )
     workload.remounts = remounts
     workload.final_values = result.final_values()
+    workload.mode_trace = [s.mode for s in result.supersteps]
     _attach_injection_stats(workload, system)
     return workload
 
@@ -372,7 +383,8 @@ def run_cell(system: str, graph: CSRGraph, algorithm: str,
              faults=None, crashes=None,
              checkpoint_every: int = 0,
              sanitize: bool | None = None,
-             workers: int | None = None) -> WorkloadResult:
+             workers: int | None = None,
+             mode: str | None = None) -> WorkloadResult:
     """Dispatch one (system, algorithm) cell with shared conventions.
 
     ``server_profile`` is the host every *software* system runs on (the
@@ -395,7 +407,8 @@ def run_cell(system: str, graph: CSRGraph, algorithm: str,
                                     pagerank_iterations=pagerank_iterations,
                                     faults=faults, crashes=crashes,
                                     checkpoint_every=checkpoint_every,
-                                    sanitize=sanitize, workers=workers)
+                                    sanitize=sanitize, workers=workers,
+                                    mode=mode)
     return run_baseline_system(system, graph, algorithm, server_profile,
                                scale=scale, cutoff_s=cutoff_s, dataset=dataset,
                                pagerank_iterations=pagerank_iterations)

@@ -90,10 +90,32 @@ def superstep_timeline(supersteps, max_rows: int = 20) -> str:
             f"{s.reduced_pairs:,}",
             f"{s.elapsed_s * 1000:.3f}",
             human_bytes(s.flash_bytes),
+            getattr(s, "mode", "sortreduce"),
         ])
     return format_table(
-        ["step", "active", "edges", "updates", "reduced", "ms", "flash"],
+        ["step", "active", "edges", "updates", "reduced", "ms", "flash", "mode"],
         rows, title="Per-superstep timeline")
+
+
+def mode_trace_summary(trace: Sequence[str]) -> str:
+    """Run-length-compressed execution-mode trace.
+
+    >>> mode_trace_summary(["densescan", "densescan", "sortreduce"])
+    'densescan x2 -> sortreduce x1'
+    """
+    if not trace:
+        return "(none)"
+    parts: list[str] = []
+    current = trace[0]
+    count = 0
+    for mode in trace:
+        if mode == current:
+            count += 1
+        else:
+            parts.append(f"{current} x{count}")
+            current, count = mode, 1
+    parts.append(f"{current} x{count}")
+    return " -> ".join(parts)
 
 
 def default_results_dir() -> str:

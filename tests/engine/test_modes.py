@@ -1,0 +1,306 @@
+"""Execution modes: static correctness, adaptive policy, bit-identity.
+
+The contracts under test (see repro.engine.modes):
+
+* every static mode computes the same answers as the default sort-reduce
+  path on every algorithm;
+* each mode's simulated clock is bit-identical across ``--workers 1/2/4``
+  and across crash → remount → resume;
+* the adaptive policy is a pure function of checkpointed state, so its
+  per-superstep mode trace is deterministic — pinned here as goldens —
+  and a run whose trace is constant matches the static mode bit for bit.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+import repro.core.dense as dense_mod
+import repro.core.external as external_mod
+import repro.graph.vertexdata as vertexdata_mod
+from repro.algorithms.bfs import run_bfs
+from repro.algorithms.cc import run_label_propagation
+from repro.algorithms.pagerank import run_pagerank
+from repro.algorithms.reference import pagerank_push, validate_parents
+from repro.algorithms.bfs import UNVISITED
+from repro.engine.config import make_system
+from repro.engine.modes import (
+    MODES,
+    STATIC_MODES,
+    AdaptivePolicy,
+    charge_mode_switch,
+    resolve_mode,
+    semiexternal_footprint,
+)
+from repro.flash.faults import CrashPlan
+from repro.harness import default_root, load_dataset, run_with_crashes
+from repro.perf.clock import SimClock
+from repro.perf.profiles import GRAFSOFT
+
+SCALE = 1 / 65536
+
+
+def _load():
+    return load_dataset("kron30", scale=SCALE, seed=7)
+
+
+def _run(graph, algorithm, mode, workers=1, system_kind="grafsoft"):
+    """One engine run; flash bytes snapshotted before final_values() reads
+    (reading vertex data charges the clock like any other flash traffic)."""
+    system = make_system(system_kind, SCALE, num_vertices_hint=graph.num_vertices,
+                         workers=workers, mode=mode)
+    flash_graph = system.load_graph(graph)
+    engine = system.engine_for(flash_graph, graph.num_vertices)
+    if algorithm == "pagerank":
+        result = run_pagerank(engine, graph.num_vertices, 2)
+    elif algorithm == "bfs":
+        result = run_bfs(engine, default_root(graph))
+    else:
+        result = run_label_propagation(engine)
+    flash = system.clock.bytes_moved("flash")
+    return {
+        "values": result.final_values(),
+        "elapsed": result.elapsed_s,
+        "flash": flash,
+        "trace": result.mode_trace,
+        "stats": [s.to_dict() for s in result.sort_stats],
+    }
+
+
+# --------------------------------------------------------------------------
+# policy + plumbing units
+# --------------------------------------------------------------------------
+
+
+def test_resolve_mode_env(monkeypatch):
+    monkeypatch.delenv("REPRO_MODE", raising=False)
+    assert resolve_mode(None) == "sortreduce"
+    monkeypatch.setenv("REPRO_MODE", "adaptive")
+    assert resolve_mode(None) == "adaptive"
+    assert resolve_mode("densescan") == "densescan"  # explicit beats env
+    with pytest.raises(ValueError):
+        resolve_mode("turbo")
+
+
+def test_mode_lists_consistent():
+    assert set(STATIC_MODES) | {"adaptive"} == set(MODES)
+    assert MODES[0] == "sortreduce"  # the default stays first-class
+
+
+def test_adaptive_policy_decisions():
+    # 1000 vertices x f8: footprint 9000 B.  Budget 100 KB fits it easily.
+    fits = AdaptivePolicy(1000, 8000, np.dtype("<f8"), dram_budget=100_000)
+    assert fits.choose(1) == "semiexternal"
+    # Tiny budget: never semiexternal; dense frontier scans, sparse sorts.
+    tight = AdaptivePolicy(1000, 8000, np.dtype("<f8"), dram_budget=1000)
+    assert tight.choose(900) == "densescan"    # 90% density
+    assert tight.choose(10) == "sortreduce"    # sparse frontier
+    # The density threshold is inclusive: exactly 30% active scans.
+    assert tight.choose(300) == "densescan"
+    assert tight.choose(299) == "sortreduce"
+
+
+def test_adaptive_policy_is_pure():
+    policy = AdaptivePolicy(5000, 40000, np.dtype("<f8"), dram_budget=4096)
+    picks = [policy.choose(n) for n in (1, 10, 100, 1000, 5000)]
+    assert picks == [policy.choose(n) for n in (1, 10, 100, 1000, 5000)]
+
+
+def test_mode_switch_charges():
+    profile = GRAFSOFT
+    clock = SimClock()
+    # Staying put, or moving between the streaming modes, is free.
+    charge_mode_switch(clock, profile, None, "sortreduce", 1 << 20)
+    charge_mode_switch(clock, profile, "sortreduce", "densescan", 1 << 20)
+    charge_mode_switch(clock, profile, "densescan", "sortreduce", 1 << 20)
+    charge_mode_switch(clock, profile, "semiexternal", "semiexternal", 1 << 20)
+    assert clock.elapsed_s == 0.0
+    # Entering semiexternal loads the pinned vertex data: time passes.
+    charge_mode_switch(clock, profile, "sortreduce", "semiexternal", 1 << 20)
+    assert clock.elapsed_s > 0.0
+
+
+def test_semiexternal_footprint():
+    # value bytes + 1 touched byte per vertex
+    assert semiexternal_footprint(100, np.dtype("<f8")) == 900
+    assert semiexternal_footprint(100, np.dtype("<u8")) == 900
+
+
+def test_engine_rejects_unknown_mode(tiny_graph):
+    from repro.engine.engine import GraFBoostEngine
+
+    system = make_system("grafsoft", SCALE, num_vertices_hint=tiny_graph.num_vertices)
+    flash_graph = system.load_graph(tiny_graph)
+    with pytest.raises(ValueError, match="mode"):
+        GraFBoostEngine(flash_graph, system.store, system.backend,
+                        tiny_graph.num_vertices, chunk_bytes=system.chunk_bytes,
+                        memory=system.memory, mode="turbo")
+
+
+# --------------------------------------------------------------------------
+# static-mode correctness on small graphs
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("mode", STATIC_MODES + ("adaptive",))
+def test_all_modes_match_pagerank_reference(random_graph, mode):
+    system = make_system("grafsoft", 2.0 ** -14,
+                        num_vertices_hint=random_graph.num_vertices, mode=mode)
+    flash_graph = system.load_graph(random_graph)
+    engine = system.engine_for(flash_graph, random_graph.num_vertices)
+    result = run_pagerank(engine, random_graph.num_vertices, 2)
+    assert np.allclose(result.final_values(), pagerank_push(random_graph, 2))
+    assert len(result.mode_trace) == result.num_supersteps
+    assert all(m in STATIC_MODES for m in result.mode_trace)
+
+
+@pytest.mark.parametrize("mode", STATIC_MODES + ("adaptive",))
+def test_all_modes_match_bfs_reference(random_graph, mode):
+    root = int(np.flatnonzero(random_graph.out_degrees() > 0)[0])
+    system = make_system("grafsoft", 2.0 ** -14,
+                        num_vertices_hint=random_graph.num_vertices, mode=mode)
+    flash_graph = system.load_graph(random_graph)
+    engine = system.engine_for(flash_graph, random_graph.num_vertices)
+    result = run_bfs(engine, root)
+    assert validate_parents(random_graph, root, result.final_values(), UNVISITED)
+
+
+# --------------------------------------------------------------------------
+# adaptive mode-trace goldens (pinned; deterministic across workers)
+# --------------------------------------------------------------------------
+
+ADAPTIVE_TRACES = {
+    # Dense two-iteration PageRank: vertex data outgrows the DRAM headroom
+    # at this scale, and every superstep is an all-active frontier — the
+    # policy scans the adjacency both times.
+    "pagerank": ["densescan", "densescan"],
+    # BFS: single-seed start and the narrow tail sort-reduce; the two
+    # middle waves cross the density threshold and scan.
+    "bfs": ["sortreduce", "sortreduce", "sortreduce", "densescan",
+            "densescan", "sortreduce", "sortreduce"],
+    # Label propagation starts all-active (scan) and converges to a
+    # sparse correcting frontier (sort-reduce).
+    "cc": ["densescan", "densescan", "densescan", "densescan", "densescan",
+           "sortreduce", "sortreduce"],
+}
+
+
+@pytest.mark.parametrize("algorithm", sorted(ADAPTIVE_TRACES))
+def test_adaptive_mode_trace_golden(algorithm):
+    graph = _load()
+    base = _run(graph, algorithm, "adaptive")
+    assert base["trace"] == ADAPTIVE_TRACES[algorithm]
+    for workers in (2, 4):
+        again = _run(graph, algorithm, "adaptive", workers=workers)
+        assert again["trace"] == base["trace"], workers
+        assert again["elapsed"] == base["elapsed"], workers
+        assert again["flash"] == base["flash"], workers
+        assert np.array_equal(again["values"], base["values"]), workers
+
+
+# --------------------------------------------------------------------------
+# static-mode bit-identity across worker counts
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("mode", STATIC_MODES)
+@pytest.mark.parametrize("algorithm", ["pagerank", "bfs"])
+def test_static_mode_worker_sweep_bit_identical(mode, algorithm):
+    graph = _load()
+    base = _run(graph, algorithm, mode)
+    assert base["trace"] == [mode] * len(base["trace"])
+    for workers in (2, 4):
+        again = _run(graph, algorithm, mode, workers=workers)
+        assert again["elapsed"] == base["elapsed"], (mode, workers)
+        assert again["flash"] == base["flash"], (mode, workers)
+        assert again["stats"] == base["stats"], (mode, workers)
+        assert np.array_equal(again["values"], base["values"]), (mode, workers)
+
+
+def test_semiexternal_cuts_flash_traffic_on_pagerank():
+    # The point of the semi-external mode: vertex values live in DRAM, so
+    # no intermediate sorted runs hit flash on an all-active workload.
+    graph = _load()
+    sortreduce = _run(graph, "pagerank", "sortreduce")
+    semi = _run(graph, "pagerank", "semiexternal")
+    assert semi["flash"] < sortreduce["flash"]
+    assert np.allclose(semi["values"], sortreduce["values"])
+
+
+# --------------------------------------------------------------------------
+# crash → remount → resume bit-identity, per mode
+# --------------------------------------------------------------------------
+
+
+def _pin_name_counters():
+    # Durable stores journal file *names* to flash; pin the global name
+    # counters so journal bytes can't drift between compared runs (same
+    # trick as tests/test_perf_invariance.py).
+    external_mod._run_counter = itertools.count(1000)
+    vertexdata_mod._va_counter = itertools.count(1000)
+    dense_mod._dense_counter = itertools.count(1000)
+
+
+@pytest.mark.parametrize("mode", STATIC_MODES + ("adaptive",))
+def test_crash_resume_bit_identical_per_mode(mode):
+    graph = _load()
+    # Dry run with a zero-crash durable plan counts flash ops so the real
+    # crash lands mid-engine-run, past the graph load.
+    system = make_system("grafsoft", SCALE, num_vertices_hint=graph.num_vertices,
+                         crashes=CrashPlan(crashes=0), mode=mode)
+    flash_graph = system.load_graph(graph)
+    load_ops = system.device.crashes.op_index
+    engine = system.engine_for(flash_graph, graph.num_vertices)
+    _pin_name_counters()
+    clean = run_pagerank(engine, graph.num_vertices, 2)
+    total_ops = system.device.crashes.op_index
+    plan_ops = (load_ops + (total_ops - load_ops) // 2,)
+
+    def crashed(workers):
+        _pin_name_counters()
+        return run_with_crashes(
+            "GraFSoft", graph, "pagerank", scale=SCALE,
+            crashes=CrashPlan(at_ops=plan_ops, torn_write_p=0.5),
+            checkpoint_every=1, pagerank_iterations=2,
+            workers=workers, mode=mode)
+
+    serial = crashed(1)
+    parallel = crashed(4)
+    assert serial.completed and parallel.completed
+    assert serial.power_losses == parallel.power_losses == 1
+    assert serial.mode_trace == clean.mode_trace == parallel.mode_trace
+    assert np.array_equal(serial.final_values, clean.final_values())
+    assert np.array_equal(parallel.final_values, serial.final_values)
+    assert parallel.elapsed_s == serial.elapsed_s
+    assert parallel.flash_bytes == serial.flash_bytes
+
+
+# --------------------------------------------------------------------------
+# adaptive == chosen-static-mode equivalence
+# --------------------------------------------------------------------------
+
+
+def test_adaptive_matches_static_mode_bit_for_bit():
+    # Adaptive PageRank picks densescan every superstep (golden above), and
+    # switching into a streaming mode is free — so the adaptive run must be
+    # indistinguishable from the static mode it chose.
+    graph = _load()
+    adaptive = _run(graph, "pagerank", "adaptive")
+    static = _run(graph, "pagerank", "densescan")
+    assert adaptive["trace"] == static["trace"]
+    assert adaptive["elapsed"] == static["elapsed"]
+    assert adaptive["flash"] == static["flash"]
+    assert np.array_equal(adaptive["values"], static["values"])
+
+
+def test_metrics_record_mode(random_graph):
+    system = make_system("grafsoft", 2.0 ** -14,
+                        num_vertices_hint=random_graph.num_vertices,
+                        mode="semiexternal")
+    flash_graph = system.load_graph(random_graph)
+    engine = system.engine_for(flash_graph, random_graph.num_vertices)
+    result = run_pagerank(engine, random_graph.num_vertices, 1)
+    assert [s.mode for s in result.supersteps] == ["semiexternal"]

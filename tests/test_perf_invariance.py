@@ -285,7 +285,7 @@ def test_sim_clock_invariance_pagerank(system, golden_elapsed, golden_flash,
     graph = load_dataset("kron30", scale=1 / 65536, seed=7)
     result = run_grafboost_system(system, graph, "pagerank", scale=1 / 65536,
                                   dataset="kron30", pagerank_iterations=2,
-                                  faults=faults)
+                                  faults=faults, mode="sortreduce")
     assert result.elapsed_s == golden_elapsed
     assert result.flash_bytes == golden_flash
     assert result.traversed_edges == 521983
@@ -311,7 +311,7 @@ def test_sanitized_pagerank_bit_identical(system, golden_elapsed,
     graph = load_dataset("kron30", scale=1 / 65536, seed=7)
     result = run_grafboost_system(system, graph, "pagerank", scale=1 / 65536,
                                   dataset="kron30", pagerank_iterations=2,
-                                  sanitize=True)
+                                  sanitize=True, mode="sortreduce")
     assert result.elapsed_s == golden_elapsed
     assert result.flash_bytes == golden_flash
     assert result.traversed_edges == 521983
