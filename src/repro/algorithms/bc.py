@@ -36,6 +36,11 @@ class BCResult:
     centrality: np.ndarray
     backtrace_elapsed_s: float
     backtrace_stats: list[SortReduceStats] = field(default_factory=list)
+    #: Execution mode of each backtracing pass (one per BFS-tree level,
+    #: deepest first) — always a sort-reduce, recorded so reports can show
+    #: the full two-phase mode trace instead of silently dropping the
+    #: backward half.
+    backtrace_modes: list[str] = field(default_factory=list)
 
     @property
     def elapsed_s(self) -> float:
@@ -65,6 +70,7 @@ def run_betweenness_centrality(engine: GraFBoostEngine, root: int) -> BCResult:
     levels = forward.vertices.overlays()
     centrality = np.zeros(engine.num_vertices, dtype=np.float64)
     stats: list[SortReduceStats] = []
+    modes: list[str] = []
 
     credit = KVArray.empty(np.dtype("<f8"))  # per-vertex descendant counts
     for level_index in range(len(levels) - 1, -1, -1):
@@ -84,6 +90,7 @@ def run_betweenness_centrality(engine: GraFBoostEngine, root: int) -> BCResult:
         reducer.add(updates)
         run = reducer.finish()
         stats.append(reducer.stats)
+        modes.append("sortreduce")
         credit = run.read_all()
         run.delete()
 
@@ -92,6 +99,7 @@ def run_betweenness_centrality(engine: GraFBoostEngine, root: int) -> BCResult:
         centrality=centrality,
         backtrace_elapsed_s=clock.elapsed_s - backtrace_start,
         backtrace_stats=stats,
+        backtrace_modes=modes,
     )
 
 
@@ -110,17 +118,20 @@ def run_betweenness_centrality_multi(engine: GraFBoostEngine,
     forwards = []
     backtrace_time = 0.0
     stats = []
+    modes = []
     for root in roots:
         single = run_betweenness_centrality(engine, root)
         total = single.centrality if total is None else total + single.centrality
         forwards.append(single.forward)
         backtrace_time += single.backtrace_elapsed_s
         stats.extend(single.backtrace_stats)
+        modes.extend(single.backtrace_modes)
     return BCResult(
         forward=forwards[-1],
         centrality=total,
         backtrace_elapsed_s=backtrace_time,
         backtrace_stats=stats,
+        backtrace_modes=modes,
     )
 
 

@@ -121,6 +121,44 @@ def build_parser() -> argparse.ArgumentParser:
                           "adaptive picks per superstep and reports the "
                           "decision trace")
 
+    serve = sub.add_parser(
+        "serve",
+        help="drive a multi-tenant service workload (analytics jobs + "
+             "point queries) and print the deterministic scheduler trace")
+    serve.add_argument("--system", choices=list(GRAFBOOST_FAMILY),
+                       default="GraFBoost")
+    serve.add_argument("--dataset", choices=sorted(DATASETS), default="kron28")
+    serve.add_argument("--scale", type=_parse_scale, default=DEFAULT_SCALE)
+    serve.add_argument("--seed", type=int, default=1)
+    serve.add_argument("--job", action="append", dest="jobs", metavar="SPEC",
+                       help="submit one job: tenant:kind[:k=v,...][@round], "
+                            "e.g. t0:pagerank:iters=2, "
+                            "t1:neighborhood:v=5,depth=2, "
+                            "t0:path:src=0,dst=9, "
+                            "t1:vstate:ref=svc-1,v=0+3 (repeatable)")
+    serve.add_argument("--demo", action="store_true",
+                       help="submit the built-in two-tenant demo workload "
+                            "(2 analytics runs, 6 point queries, 1 rejected "
+                            "submission)")
+    serve.add_argument("--quota", action="append", dest="quotas",
+                       metavar="TENANT=R/Q/P",
+                       help="per-tenant quota: max running/queued analytics "
+                            "runs and outstanding point queries, e.g. "
+                            "t0=1/0/8 (repeatable)")
+    serve.add_argument("--faults", type=_parse_faults, default=None,
+                       metavar="SPEC",
+                       help="seeded fault-injection plan (as in run)")
+    serve.add_argument("--crash", type=_parse_crashes, default=None,
+                       metavar="SPEC", dest="crashes",
+                       help="seeded power-loss plan; job state and engine "
+                            "checkpoints are journaled on flash, so the "
+                            "service recovers with a bit-identical trace")
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="sort-reduce worker processes (trace is "
+                            "bit-identical for any N)")
+    serve.add_argument("--mode", choices=list(EXECUTION_MODES), default=None,
+                       help="engine execution mode for the analytics jobs")
+
     compare = sub.add_parser("compare", help="run a figure-style matrix")
     compare.add_argument("--dataset", choices=sorted(DATASETS), default="kron28")
     compare.add_argument("--systems", default="GraFBoost,GraFBoost2,GraFSoft")
@@ -169,8 +207,15 @@ def cmd_run(args) -> int:
     graph = load_dataset(args.dataset, args.scale, seed=args.seed)
     print(f"{args.dataset} @ scale {args.scale:g}: "
           f"{graph.num_vertices:,} vertices, {graph.num_edges:,} edges")
-    if args.timeline and args.system in GRAFBOOST_FAMILY:
-        return _run_with_timeline(args, graph)
+    # NB: --timeline is handled *after* all flag validation and goes through
+    # run_cell like every other invocation, so it composes with --faults/
+    # --crash/--sanitize/--checkpoint-every instead of silently dropping
+    # them (it used to return early through a separate bare-engine path).
+    if args.timeline and args.system not in GRAFBOOST_FAMILY:
+        print(f"--timeline only applies to the simulated flash stacks "
+              f"({', '.join(GRAFBOOST_FAMILY)}), not {args.system}",
+              file=sys.stderr)
+        return 2
     if args.faults is not None and args.system not in GRAFBOOST_FAMILY:
         print(f"--faults only applies to the simulated flash stacks "
               f"({', '.join(GRAFBOOST_FAMILY)}), not {args.system}",
@@ -213,6 +258,9 @@ def cmd_run(args) -> int:
     if not cell.completed:
         print(f"{args.system} {args.algorithm}: DNF — {cell.dnf_reason}")
         return 1
+    if args.timeline:
+        print(superstep_timeline(cell.superstep_metrics or []))
+        print(f"total simulated time: {human_seconds(cell.elapsed_s)}")
     rows = [
         ["system", cell.system],
         ["algorithm", cell.algorithm],
@@ -224,7 +272,8 @@ def cmd_run(args) -> int:
         ["peak memory", human_bytes(cell.memory_bytes)],
     ]
     if cell.mode_trace:
-        rows.append(["mode trace", mode_trace_summary(cell.mode_trace)])
+        rows.append(["mode trace",
+                     mode_trace_summary(cell.mode_trace, cell.mode_phases)])
     if args.faults is not None:
         rows += [
             ["corrected bit errors", f"{cell.corrected_bit_errors:,}"],
@@ -242,31 +291,72 @@ def cmd_run(args) -> int:
     return 0
 
 
-def _run_with_timeline(args, graph) -> int:
-    """Engine run with the per-superstep breakdown (engines only)."""
-    from repro.algorithms.bfs import run_bfs
-    from repro.algorithms.pagerank import run_pagerank
-    from repro.algorithms.bc import run_betweenness_centrality
-    from repro.engine.config import make_system
-    from repro.harness import default_root
+def cmd_serve(args) -> int:
+    """Drive a multi-tenant service workload and print the scheduler trace."""
+    from repro.harness import run_service_cell
+    from repro.service import TenantQuota, demo_quotas, demo_workload
 
-    system = make_system(args.system.lower(), args.scale,
-                         num_vertices_hint=graph.num_vertices,
-                         workers=args.workers, mode=args.mode)
-    flash_graph = system.load_graph(graph)
-    engine = system.engine_for(flash_graph, graph.num_vertices)
-    if args.algorithm == "pagerank":
-        result = run_pagerank(engine, graph.num_vertices, 1)
-        steps = result.supersteps
-    elif args.algorithm == "bfs":
-        result = run_bfs(engine, default_root(graph))
-        steps = result.supersteps
-    else:
-        result = run_betweenness_centrality(engine, default_root(graph))
-        steps = result.forward.supersteps
-    print(superstep_timeline(steps))
-    print(f"total simulated time: {human_seconds(result.elapsed_s)}")
+    jobs = list(args.jobs or [])
+    quotas: dict[str, TenantQuota] = {}
+    if args.demo:
+        jobs = demo_workload() + jobs
+        quotas.update(demo_quotas())
+    if not jobs:
+        print("serve needs at least one --job SPEC (or --demo)",
+              file=sys.stderr)
+        return 2
+    for quota_spec in args.quotas or []:
+        try:
+            tenant, quota = _parse_quota(quota_spec)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        quotas[tenant] = quota
+    try:
+        cell = run_service_cell(args.system, load_dataset(
+                                    args.dataset, args.scale, seed=args.seed),
+                                jobs, scale=args.scale,
+                                quotas=quotas or None, dataset=args.dataset,
+                                faults=args.faults, crashes=args.crashes,
+                                workers=args.workers, mode=args.mode)
+    except (FlashError, ValueError) as e:
+        print(f"serve: aborted on {type(e).__name__}: {e}", file=sys.stderr)
+        return 1
+    print("Scheduler trace")
+    for line in cell.trace:
+        print(f"  {line}")
+    rows = [
+        ["system", cell.system],
+        ["jobs done", cell.jobs_done],
+        ["jobs rejected", cell.jobs_rejected],
+        ["jobs failed", cell.jobs_failed],
+        ["scheduler rounds", cell.rounds],
+        ["simulated time", human_seconds(cell.elapsed_s)],
+        ["flash traffic", human_bytes(cell.flash_bytes)],
+    ]
+    if args.crashes is not None:
+        rows += [
+            ["power losses", f"{cell.power_losses:,}"],
+            ["remounts", f"{cell.remounts:,}"],
+        ]
+    print(format_table(["metric", "value"], rows))
     return 0
+
+
+def _parse_quota(text: str):
+    """``tenant=running/queued/point`` → (tenant, TenantQuota)."""
+    from repro.service import TenantQuota
+
+    tenant, sep, body = text.partition("=")
+    parts = body.split("/")
+    if not sep or not tenant or len(parts) != 3:
+        raise ValueError(f"bad quota {text!r}; want tenant=running/queued/point")
+    try:
+        running, queued, point = (int(p) for p in parts)
+    except ValueError:
+        raise ValueError(f"bad quota {text!r}; limits must be integers") from None
+    return tenant, TenantQuota(max_running=running, max_queued=queued,
+                               max_point=point)
 
 
 def cmd_compare(args) -> int:
@@ -305,6 +395,7 @@ def main(argv: list[str] | None = None) -> int:
         "datasets": cmd_datasets,
         "profiles": cmd_profiles,
         "run": cmd_run,
+        "serve": cmd_serve,
         "compare": cmd_compare,
     }
     return handlers[args.command](args)

@@ -103,6 +103,23 @@ class VertexProgram:
         """
         return num_vertices
 
+    # ------------------------------------------------------------- namespacing
+
+    def namespaced(self, label: str) -> "VertexProgram":
+        """Give this program instance a job-scoped name.
+
+        Everything the engine persists — sort-reduce run files, the
+        checkpoint's algorithm tag, the resume-time orphan sweep prefix —
+        derives from :attr:`name`, so two concurrent runs of the *same*
+        algorithm over one store must not share it.  The service layer calls
+        ``program.namespaced(job_id)`` to keep each job's on-flash footprint
+        (and crash/resume state) disjoint.  Returns ``self`` for chaining.
+        """
+        if not label or any(c in label for c in ":/ "):
+            raise ValueError(f"bad namespace label {label!r}")
+        self.name = f"{self.name}@{label}"
+        return self
+
     # ---------------------------------------------------------------- limits
 
     def max_supersteps(self) -> int:

@@ -78,14 +78,29 @@ class SystemConfig:
 
     def engine_for(self, graph: FlashCSR, num_vertices: int,
                    lazy: bool = True, checkpoint_every: int = 0,
-                   auto_resume: bool = False) -> GraFBoostEngine:
+                   auto_resume: bool = False,
+                   checkpoint_prefix: str = "ckpt") -> GraFBoostEngine:
         return GraFBoostEngine(
             graph, self.store, self.backend, num_vertices,
             chunk_bytes=self.chunk_bytes, fanout=self.fanout,
             memory=self.memory, lazy=lazy,
             checkpoint_every=checkpoint_every, auto_resume=auto_resume,
+            checkpoint_prefix=checkpoint_prefix,
             workers=self.workers, mode=self.mode,
         )
+
+    def service_for(self, graph: FlashCSR, num_vertices: int,
+                    config=None, quotas=None, default_root: int = 0):
+        """A multi-tenant analytics service over this stack.
+
+        Jobs submitted to the returned :class:`~repro.service.GraphService`
+        run as interleaved :meth:`engine_for` engines (each with its own
+        checkpoint namespace) plus batched point queries against ``graph``.
+        """
+        from repro.service import GraphService
+
+        return GraphService(self, graph, num_vertices, config=config,
+                            quotas=quotas, default_root=default_root)
 
     def load_graph(self, graph: CSRGraph, prefix: str = "graph") -> FlashCSR:
         """Serialize a CSR graph into this system's store."""

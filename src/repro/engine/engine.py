@@ -152,99 +152,21 @@ class GraFBoostEngine:
         PageRank measurement), a final apply pass folds the outstanding
         ``newV`` into ``V`` so :meth:`RunResult.final_values` is consistent.
         """
-        limit = program.max_supersteps() if max_supersteps is None else max_supersteps
-        run_start = self.clock.elapsed_s
-        retire = self._retire_file if self.checkpoint_every else None
+        run = self.start(program, max_supersteps=max_supersteps)
+        while run.step():
+            pass
+        return run.finish()
 
-        state = self._load_checkpoint(program) if self.auto_resume else None
-        self.resumed_from_superstep = None
-        if state is not None:
-            vertices, prev_run, superstep, result = self._restore(program, state)
-            prev_chunks = prev_run.chunks()
-            self.resumed_from_superstep = superstep
-        else:
-            vertices = VertexArray(
-                self.store, self.num_vertices, program.value_dtype,
-                program.default_value, max_overlays=self.max_overlays,
-                retire=retire,
-            )
-            result = RunResult(algorithm=program.name, vertices=vertices)
-            prev_chunks = program.initial_updates(self.num_vertices)
-            prev_run = None
-            superstep = 0
-        executor = SuperstepExecutor(
-            self.graph, vertices, program, self.store, self.backend,
-            self.chunk_bytes, fanout=self.fanout, memory=self.memory, lazy=self.lazy,
-            pool=self.pool,
-        )
-        mode_table = build_modes(executor)
-        footprint = semiexternal_footprint(self.num_vertices, program.value_dtype)
-        policy = None
-        if self.mode == "adaptive":
-            budget = (self.memory.budget if self.memory is not None
-                      else self.store.device.profile.dram_capacity)
-            policy = AdaptivePolicy(self.num_vertices, self.graph.num_edges,
-                                    program.value_dtype, budget)
-        # The mode of the superstep before this one — restored from the
-        # checkpointed metrics on resume, so switch charges land at the
-        # same supersteps in crashed and uninterrupted runs.
-        prev_mode = result.supersteps[-1].mode if result.supersteps else None
-        last_checkpoint = superstep
-        while superstep < limit:
-            if (self.checkpoint_every and superstep > last_checkpoint
-                    and superstep % self.checkpoint_every == 0):
-                self._write_checkpoint(program, result, vertices, prev_run,
-                                       superstep)
-                last_checkpoint = superstep
-            if policy is not None:
-                incoming = (prev_run.num_records if prev_run is not None
-                            else program.initial_frontier_hint(self.num_vertices))
-                mode_name = policy.choose(incoming)
-            else:
-                mode_name = self.mode
-            checkpoint = self.clock.checkpoint()
-            flash_bytes_start = self.clock.bytes_moved("flash")
-            charge_mode_switch(self.clock, self.store.device.profile,
-                               prev_mode, mode_name, footprint)
-            try:
-                outcome = mode_table[mode_name].run_superstep(prev_chunks, superstep)
-            except FlashError as e:
-                e.add_note(f"while running {program.name} superstep {superstep}")
-                raise
-            if prev_run is not None:
-                self._discard_run(prev_run)
-            prev_run = outcome.new_run
-            result.supersteps.append(SuperstepMetrics(
-                superstep=superstep,
-                activated=outcome.activated,
-                traversed_edges=outcome.traversed_edges,
-                update_pairs=outcome.update_pairs,
-                reduced_pairs=outcome.new_run.num_records,
-                elapsed_s=checkpoint.elapsed_s,
-                flash_bytes=self.clock.bytes_moved("flash") - flash_bytes_start,
-                flash_busy_s=checkpoint.busy_s("flash"),
-                compute_busy_s=checkpoint.busy_s("cpu") + checkpoint.busy_s("accel"),
-                mode=mode_name,
-            ))
-            prev_mode = mode_name
-            result.sort_stats.append(outcome.sort_stats)
-            vertices.maybe_compact()
-            superstep += 1
-            if outcome.new_run.num_records == 0 and outcome.activated == 0:
-                break
-            prev_chunks = prev_run.chunks()
-            if outcome.new_run.num_records == 0:
-                # Frontier died this superstep: one more (empty) pass would
-                # change nothing, stop now.
-                break
+    def start(self, program: VertexProgram,
+              max_supersteps: int | None = None) -> "EngineRun":
+        """Begin a run that the caller advances one superstep at a time.
 
-        if prev_run is not None and prev_run.num_records:
-            self._apply_pass(executor, prev_run, superstep)
-            prev_run.delete()
-        if self.checkpoint_every:
-            self._clear_checkpoint()
-        result.elapsed_s = self.clock.elapsed_s - run_start
-        return result
+        The service layer interleaves many in-flight :class:`EngineRun`
+        instances over one stack (cooperative multitasking on the shared sim
+        clock); :meth:`run` is exactly ``start()`` + a ``step()`` loop +
+        ``finish()``, so the decomposition is behaviour-preserving.
+        """
+        return EngineRun(self, program, max_supersteps=max_supersteps)
 
     def _apply_pass(self, executor: SuperstepExecutor, run, superstep: int) -> None:
         """Fold an unconsumed ``newV`` into ``V`` without pushing edges."""
@@ -371,3 +293,149 @@ class GraFBoostEngine:
         for name in retired:
             if self.store.exists(name):
                 self.store.delete(name)
+
+
+class EngineRun:
+    """One in-flight vertex-program run, advanced superstep by superstep.
+
+    Holds exactly the loop state of the classic ``run()`` driver —
+    checkpoint cadence, mode policy, the previous superstep's run file —
+    so that a ``step()`` loop followed by :meth:`finish` reproduces the
+    monolithic loop byte for byte.  Between ``step()`` calls other work
+    (another job's superstep, a point-query batch) may charge the shared
+    clock; per-superstep metrics are deltas around each step, so they stay
+    exact, while :attr:`RunResult.elapsed_s` spans submit-to-finish wall
+    (simulated) time — the job latency a service reports.
+    """
+
+    def __init__(self, engine: GraFBoostEngine, program: VertexProgram,
+                 max_supersteps: int | None = None):
+        self.engine = engine
+        self.program = program
+        self.limit = (program.max_supersteps() if max_supersteps is None
+                      else max_supersteps)
+        self.run_start = engine.clock.elapsed_s
+        retire = engine._retire_file if engine.checkpoint_every else None
+
+        state = engine._load_checkpoint(program) if engine.auto_resume else None
+        engine.resumed_from_superstep = None
+        if state is not None:
+            (self.vertices, self.prev_run, self.superstep,
+             self.result) = engine._restore(program, state)
+            self.prev_chunks = self.prev_run.chunks()
+            engine.resumed_from_superstep = self.superstep
+        else:
+            self.vertices = VertexArray(
+                engine.store, engine.num_vertices, program.value_dtype,
+                program.default_value, max_overlays=engine.max_overlays,
+                retire=retire,
+            )
+            self.result = RunResult(algorithm=program.name, vertices=self.vertices)
+            self.prev_chunks = program.initial_updates(engine.num_vertices)
+            self.prev_run = None
+            self.superstep = 0
+        self.executor = SuperstepExecutor(
+            engine.graph, self.vertices, program, engine.store, engine.backend,
+            engine.chunk_bytes, fanout=engine.fanout, memory=engine.memory,
+            lazy=engine.lazy, pool=engine.pool,
+        )
+        self.mode_table = build_modes(self.executor)
+        self.footprint = semiexternal_footprint(engine.num_vertices,
+                                                program.value_dtype)
+        self.policy = None
+        if engine.mode == "adaptive":
+            budget = (engine.memory.budget if engine.memory is not None
+                      else engine.store.device.profile.dram_capacity)
+            self.policy = AdaptivePolicy(engine.num_vertices,
+                                         engine.graph.num_edges,
+                                         program.value_dtype, budget)
+        # The mode of the superstep before this one — restored from the
+        # checkpointed metrics on resume, so switch charges land at the
+        # same supersteps in crashed and uninterrupted runs.
+        self.prev_mode = (self.result.supersteps[-1].mode
+                          if self.result.supersteps else None)
+        self.last_checkpoint = self.superstep
+        self.done = False
+        self._finished = False
+
+    @property
+    def pending_records(self) -> int:
+        """Incoming frontier size of the next superstep (a pure function of
+        checkpointed state — the scheduler's decision input)."""
+        if self.prev_run is not None:
+            return self.prev_run.num_records
+        return self.program.initial_frontier_hint(self.engine.num_vertices)
+
+    def step(self) -> bool:
+        """Run one superstep; returns False once the run needs no more."""
+        if self.done or self.superstep >= self.limit:
+            self.done = True
+            return False
+        engine = self.engine
+        program = self.program
+        if (engine.checkpoint_every and self.superstep > self.last_checkpoint
+                and self.superstep % engine.checkpoint_every == 0):
+            engine._write_checkpoint(program, self.result, self.vertices,
+                                     self.prev_run, self.superstep)
+            self.last_checkpoint = self.superstep
+        if self.policy is not None:
+            mode_name = self.policy.choose(self.pending_records)
+        else:
+            mode_name = engine.mode
+        checkpoint = engine.clock.checkpoint()
+        flash_bytes_start = engine.clock.bytes_moved("flash")
+        charge_mode_switch(engine.clock, engine.store.device.profile,
+                           self.prev_mode, mode_name, self.footprint)
+        try:
+            outcome = self.mode_table[mode_name].run_superstep(
+                self.prev_chunks, self.superstep)
+        except FlashError as e:
+            e.add_note(f"while running {program.name} superstep {self.superstep}")
+            raise
+        if self.prev_run is not None:
+            engine._discard_run(self.prev_run)
+        self.prev_run = outcome.new_run
+        self.result.supersteps.append(SuperstepMetrics(
+            superstep=self.superstep,
+            activated=outcome.activated,
+            traversed_edges=outcome.traversed_edges,
+            update_pairs=outcome.update_pairs,
+            reduced_pairs=outcome.new_run.num_records,
+            elapsed_s=checkpoint.elapsed_s,
+            flash_bytes=engine.clock.bytes_moved("flash") - flash_bytes_start,
+            flash_busy_s=checkpoint.busy_s("flash"),
+            compute_busy_s=checkpoint.busy_s("cpu") + checkpoint.busy_s("accel"),
+            mode=mode_name,
+        ))
+        self.prev_mode = mode_name
+        self.result.sort_stats.append(outcome.sort_stats)
+        self.vertices.maybe_compact()
+        self.superstep += 1
+        if outcome.new_run.num_records == 0 and outcome.activated == 0:
+            self.done = True
+            return False
+        self.prev_chunks = self.prev_run.chunks()
+        if outcome.new_run.num_records == 0:
+            # Frontier died this superstep: one more (empty) pass would
+            # change nothing, stop now.
+            self.done = True
+            return False
+        if self.superstep >= self.limit:
+            self.done = True
+            return False
+        return True
+
+    def finish(self) -> RunResult:
+        """Final apply pass, checkpoint cleanup, and elapsed accounting."""
+        if self._finished:
+            return self.result
+        self._finished = True
+        self.done = True
+        engine = self.engine
+        if self.prev_run is not None and self.prev_run.num_records:
+            engine._apply_pass(self.executor, self.prev_run, self.superstep)
+            self.prev_run.delete()
+        if engine.checkpoint_every:
+            engine._clear_checkpoint()
+        self.result.elapsed_s = engine.clock.elapsed_s - self.run_start
+        return self.result

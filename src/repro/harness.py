@@ -20,6 +20,8 @@ bars and ``*`` marks in the figures.
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -61,21 +63,87 @@ GRAFBOOST_FAMILY = ("GraFBoost", "GraFBoost2", "GraFSoft")
 BASELINE_SYSTEMS = ("GraphLab", "GraphLab5", "FlashGraph", "X-Stream", "GraphChi")
 ALGORITHMS = ("pagerank", "bfs", "bc")
 
-_GRAPH_CACHE: dict[tuple, CSRGraph] = {}
+#: Default in-process graph cache budget; override with
+#: ``REPRO_GRAPH_CACHE_BYTES``.  Deliberately small — a long-lived service
+#: process must not accumulate every graph it ever loaded.
+GRAPH_CACHE_DEFAULT_BYTES = 256 * 1024 * 1024
+
+
+class GraphCache:
+    """A byte-budgeted LRU over built datasets, keyed ``(name, scale, seed)``.
+
+    The most recently used entry is always kept, even when it alone exceeds
+    the budget — back-to-back loads of the same key must return the same
+    object (callers rely on identity for cross-run comparisons); the budget
+    only bounds what *accumulates* beyond that.
+    """
+
+    def __init__(self, budget_bytes: int | None = None):
+        if budget_bytes is None:
+            budget_bytes = int(os.environ.get("REPRO_GRAPH_CACHE_BYTES",
+                                              GRAPH_CACHE_DEFAULT_BYTES))
+        self.budget_bytes = budget_bytes
+        self._entries: "OrderedDict[tuple, CSRGraph]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def current_bytes(self) -> int:
+        return sum(g.nbytes for g in self._entries.values())
+
+    def get(self, key: tuple) -> CSRGraph | None:
+        graph = self._entries.get(key)
+        if graph is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return graph
+
+    def put(self, key: tuple, graph: CSRGraph) -> None:
+        self._entries[key] = graph
+        self._entries.move_to_end(key)
+        while len(self._entries) > 1 and self.current_bytes > self.budget_bytes:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict:
+        return {"entries": len(self._entries), "hits": self.hits,
+                "misses": self.misses, "evictions": self.evictions,
+                "current_bytes": self.current_bytes,
+                "budget_bytes": self.budget_bytes}
+
+
+_GRAPH_CACHE = GraphCache()
 
 
 def load_dataset(name: str, scale: float = DEFAULT_SCALE, seed: int = 1) -> CSRGraph:
     """Build (and memoize) a dataset at the requested scale.
 
-    In-process results are memoized here; across processes,
+    In-process results go through the byte-budgeted :class:`GraphCache`
+    (``REPRO_GRAPH_CACHE_BYTES``); across processes,
     :func:`repro.graph.datasets.build_graph` persists built graphs to the
     on-disk dataset cache (``REPRO_DATASET_CACHE``), so repeated benchmark
     invocations skip synthesis entirely.
     """
     key = (name, scale, seed)
-    if key not in _GRAPH_CACHE:
-        _GRAPH_CACHE[key] = build_graph(name, scale, seed=seed)
-    return _GRAPH_CACHE[key]
+    graph = _GRAPH_CACHE.get(key)
+    if graph is None:
+        graph = build_graph(name, scale, seed=seed)
+        _GRAPH_CACHE.put(key, graph)
+    return graph
+
+
+def graph_cache() -> GraphCache:
+    """The process-wide dataset cache (stats/clear hook for services)."""
+    return _GRAPH_CACHE
 
 
 def default_root(graph: CSRGraph) -> int:
@@ -116,8 +184,15 @@ class WorkloadResult:
     # checks against an uninterrupted run).
     final_values: np.ndarray | None = None
     # Per-superstep execution modes (GraFBoost-family engines only; the
-    # adaptive decision trace — constant for static modes).
+    # adaptive decision trace — constant for static modes).  Multi-phase
+    # algorithms (bc) concatenate all phases; ``mode_phases`` labels the
+    # segments, e.g. ``[("forward", 4), ("backtrace", 3)]``.
     mode_trace: list[str] | None = None
+    mode_phases: list[tuple[str, int]] | None = None
+    # Per-superstep metrics of the (forward) run — what ``--timeline``
+    # renders.  Carried on the result so the timeline path goes through the
+    # same fault/crash/sanitize wiring as every other cell.
+    superstep_metrics: list | None = None
 
     @property
     def time_or_nan(self) -> float:
@@ -190,8 +265,18 @@ def run_grafboost_system(kind: str, graph: CSRGraph, algorithm: str,
     else:
         raise ValueError(f"unknown algorithm {algorithm!r}")
 
-    steps = (result.forward.supersteps if algorithm == "bc"
-             else result.supersteps)
+    if algorithm == "bc":
+        # Both phases: the forward BFS supersteps *and* the backtracing
+        # sort-reduce passes (each one level of the BFS tree).
+        forward_modes = [s.mode for s in result.forward.supersteps]
+        mode_trace = forward_modes + list(result.backtrace_modes)
+        mode_phases = [("forward", len(forward_modes)),
+                       ("backtrace", len(result.backtrace_modes))]
+        steps = result.forward.supersteps
+    else:
+        steps = result.supersteps
+        mode_trace = [s.mode for s in steps]
+        mode_phases = None
     clock = system.clock
     workload = WorkloadResult(
         system=kind, algorithm=algorithm, dataset=dataset, completed=True,
@@ -199,7 +284,9 @@ def run_grafboost_system(kind: str, graph: CSRGraph, algorithm: str,
         cpu_busy_s=clock.busy_s("cpu") + clock.busy_s("accel"),
         flash_bytes=clock.bytes_moved("flash"),
         memory_bytes=system.memory.peak,
-        mode_trace=[s.mode for s in steps],
+        mode_trace=mode_trace,
+        mode_phases=mode_phases,
+        superstep_metrics=list(steps),
     )
     _attach_injection_stats(workload, system)
     return workload
@@ -321,6 +408,7 @@ def run_with_crashes(kind: str, graph: CSRGraph, algorithm: str,
     workload.remounts = remounts
     workload.final_values = result.final_values()
     workload.mode_trace = [s.mode for s in result.supersteps]
+    workload.superstep_metrics = list(result.supersteps)
     _attach_injection_stats(workload, system)
     return workload
 
@@ -412,6 +500,98 @@ def run_cell(system: str, graph: CSRGraph, algorithm: str,
     return run_baseline_system(system, graph, algorithm, server_profile,
                                scale=scale, cutoff_s=cutoff_s, dataset=dataset,
                                pagerank_iterations=pagerank_iterations)
+
+
+@dataclass
+class ServiceCellResult:
+    """One service workload cell: a job mix driven to completion."""
+
+    system: str
+    dataset: str
+    jobs_done: int
+    jobs_rejected: int
+    jobs_failed: int
+    rounds: int
+    remounts: int
+    power_losses: int
+    rejections: int
+    elapsed_s: float
+    flash_bytes: int
+    trace: list[str]
+    jobs: list
+
+
+def run_service_cell(kind: str, graph: CSRGraph, jobs: list,
+                     scale: float = DEFAULT_SCALE,
+                     quotas=None, config=None,
+                     dataset: str = "?", seed_root: int | None = None,
+                     faults=None, crashes=None,
+                     sanitize: bool | None = None,
+                     workers: int | None = None,
+                     mode: str | None = None) -> ServiceCellResult:
+    """Run a multi-tenant service workload on a GraFBoost-family stack.
+
+    ``jobs`` is a list of job specs (strings in the CLI syntax or
+    :class:`~repro.service.JobSpec` instances) submitted before the
+    scheduler starts.  The stack is always built durable: job state lives in
+    an on-flash journal, so the cell survives ``crashes`` power-loss
+    injection with a bit-identical scheduler trace.
+    """
+    if kind not in GRAFBOOST_FAMILY:
+        raise ValueError(
+            f"service cells need a GraFBoost-family system, not {kind!r}")
+    system = make_system(kind.lower(), scale,
+                         num_vertices_hint=graph.num_vertices,
+                         faults=faults, crashes=crashes, durable=True,
+                         sanitize=sanitize, workers=workers, mode=mode)
+    start_s = system.clock.elapsed_s
+    pre_remounts = 0
+
+    def remount() -> None:
+        nonlocal pre_remounts
+        while True:
+            pre_remounts += 1
+            try:
+                system.remount()
+                return
+            except PowerLossError:
+                continue
+
+    while True:  # graph loading can crash too: scrub partials and rewrite
+        try:
+            flash_graph = system.load_graph(graph)
+            break
+        except PowerLossError:
+            remount()
+            while True:
+                try:
+                    for name in list(system.store.list_files()):
+                        if name.startswith("graph:"):
+                            system.store.delete(name)
+                    break
+                except PowerLossError:
+                    remount()
+
+    root = default_root(graph) if seed_root is None else seed_root
+    service = system.service_for(flash_graph, graph.num_vertices,
+                                 config=config, quotas=quotas,
+                                 default_root=root)
+    service.submit_all(jobs)
+    report = service.run()
+    return ServiceCellResult(
+        system=kind, dataset=dataset,
+        jobs_done=len(report.jobs_by_state("done")),
+        jobs_rejected=len(report.jobs_by_state("rejected")),
+        jobs_failed=len(report.jobs_by_state("failed")),
+        rounds=report.rounds,
+        remounts=report.remounts + pre_remounts,
+        power_losses=report.power_losses,
+        rejections=report.rejections,
+        elapsed_s=system.clock.elapsed_s - start_s,
+        flash_bytes=system.clock.bytes_moved("flash"),
+        trace=report.trace,
+        jobs=report.jobs,
+    )
 
 
 def run_matrix(systems: list[str], algorithms: list[str], dataset: str,

@@ -97,15 +97,35 @@ def superstep_timeline(supersteps, max_rows: int = 20) -> str:
         rows, title="Per-superstep timeline")
 
 
-def mode_trace_summary(trace: Sequence[str]) -> str:
+def mode_trace_summary(trace: Sequence[str],
+                       phases: Sequence[tuple[str, int]] | None = None) -> str:
     """Run-length-compressed execution-mode trace.
+
+    ``phases`` labels consecutive segments of a multi-phase trace by
+    ``(label, length)`` — e.g. betweenness centrality's forward BFS plus its
+    backtracing passes — so neither phase silently vanishes from reports.
 
     >>> mode_trace_summary(["densescan", "densescan", "sortreduce"])
     'densescan x2 -> sortreduce x1'
+    >>> mode_trace_summary(["densescan", "sortreduce"],
+    ...                    phases=[("forward", 1), ("backtrace", 1)])
+    'forward: densescan x1 | backtrace: sortreduce x1'
     """
     if not trace:
         return "(none)"
-    parts: list[str] = []
+    if phases:
+        if sum(n for _, n in phases) != len(trace):
+            raise ValueError(
+                f"phase lengths {[n for _, n in phases]} do not cover a "
+                f"trace of {len(trace)} supersteps")
+        parts = []
+        start = 0
+        for label, length in phases:
+            segment = trace[start:start + length]
+            parts.append(f"{label}: {mode_trace_summary(segment)}")
+            start += length
+        return " | ".join(parts)
+    parts = []
     current = trace[0]
     count = 0
     for mode in trace:

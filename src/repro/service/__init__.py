@@ -1,0 +1,55 @@
+"""Multi-tenant analytics service over the GraFBoost engine.
+
+The paper's pitch is one cheap flash-backed node serving analytics that
+would otherwise need a cluster; this package is the serving layer that
+pitch implies.  See :mod:`repro.service.scheduler` for the round-based
+deterministic scheduler, :mod:`repro.service.admission` for quotas and
+bandwidth reservations, and :mod:`repro.service.queries` for batched point
+queries.
+"""
+
+from repro.service.admission import (
+    ADMITTED,
+    ANALYTICS_BW_FRACTION,
+    QUEUED_DECISION,
+    REJECTED_DECISION,
+    AdmissionController,
+    TenantQuota,
+)
+from repro.service.jobs import (
+    ANALYTICS_KINDS,
+    JOB_KINDS,
+    POINT_KINDS,
+    Job,
+    JobSpec,
+    parse_job_spec,
+)
+from repro.service.queries import run_point_batch
+from repro.service.scheduler import (
+    GraphService,
+    ServiceConfig,
+    ServiceReport,
+    demo_quotas,
+    demo_workload,
+)
+
+__all__ = [
+    "ADMITTED",
+    "ANALYTICS_BW_FRACTION",
+    "ANALYTICS_KINDS",
+    "AdmissionController",
+    "GraphService",
+    "JOB_KINDS",
+    "Job",
+    "JobSpec",
+    "POINT_KINDS",
+    "QUEUED_DECISION",
+    "REJECTED_DECISION",
+    "ServiceConfig",
+    "ServiceReport",
+    "TenantQuota",
+    "demo_quotas",
+    "demo_workload",
+    "parse_job_spec",
+    "run_point_batch",
+]

@@ -1,0 +1,163 @@
+"""Admission control: quotas and flash-bandwidth reservations.
+
+The service's bottleneck is the same one the paper measures: flash channel
+bandwidth.  Every admitted analytics run streams edge data and sort-reduce
+runs through the device, so each one *reserves* a fixed fraction of
+``profile.flash_read_bw`` for its lifetime.  When the reservations would
+exceed device bandwidth the run waits in the tenant's queue; when the queue
+is full the submission is rejected outright.  Point queries are not
+reserved against — they are batched into shared passes (see
+:mod:`repro.service.queries`) whose cost is amortized across the batch —
+but they do count against a per-tenant outstanding-query quota.
+
+Everything here is a pure function of (quota table, current reservations,
+spec); no clock reads, no randomness — the same inputs always produce the
+same decision, which is what makes scheduler traces bit-identical across
+worker counts and crash/resume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Fraction of device read bandwidth one analytics run reserves.  0.45 means
+#: two concurrent runs fit (0.9) and a third (1.35) saturates the channel —
+#: matching the paper's observation that sort-reduce keeps the flash array
+#: near peak utilization, so co-running more than ~2 jobs only adds queueing.
+ANALYTICS_BW_FRACTION = 0.45
+
+ADMITTED = "admitted"
+QUEUED_DECISION = "queued"
+REJECTED_DECISION = "rejected"
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant limits; the default is deliberately tight for one node."""
+
+    #: Concurrent analytics runs actually executing.
+    max_running: int = 1
+    #: Analytics runs allowed to wait for bandwidth (beyond this: reject).
+    max_queued: int = 1
+    #: Point queries outstanding (pending or batched) at once.
+    max_point: int = 8
+
+
+DEFAULT_QUOTA = TenantQuota()
+
+
+@dataclass
+class TenantUsage:
+    """Live per-tenant counters the controller decides against."""
+
+    running: int = 0
+    queued: int = 0
+    point: int = 0
+
+
+class AdmissionController:
+    """Decide admit / queue / reject for each submission.
+
+    The controller is deliberately stateless about *which* jobs hold
+    reservations — the scheduler owns the job table and feeds usage back in
+    via :meth:`acquire` / :meth:`release`, so after a crash the controller
+    is rebuilt exactly from the journaled job states.
+    """
+
+    def __init__(self, flash_read_bw: float,
+                 quotas: dict[str, TenantQuota] | None = None):
+        self.capacity = float(flash_read_bw)
+        self.reservation = ANALYTICS_BW_FRACTION * self.capacity
+        self.quotas = dict(quotas or {})
+        self.usage: dict[str, TenantUsage] = {}
+        self.reserved = 0.0
+        self.rejections = 0
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self.quotas.get(tenant, DEFAULT_QUOTA)
+
+    def _usage(self, tenant: str) -> TenantUsage:
+        return self.usage.setdefault(tenant, TenantUsage())
+
+    # ------------------------------------------------------------- decisions
+
+    def decide_analytics(self, tenant: str) -> str:
+        """Admission decision for one analytics submission (no side effect)."""
+        quota, use = self.quota_for(tenant), self._usage(tenant)
+        fits_bw = self.reserved + self.reservation <= self.capacity
+        if fits_bw and use.running < quota.max_running:
+            return ADMITTED
+        if use.queued < quota.max_queued:
+            return QUEUED_DECISION
+        return REJECTED_DECISION
+
+    def decide_point(self, tenant: str) -> str:
+        """Admission decision for one point query (no side effect)."""
+        quota, use = self.quota_for(tenant), self._usage(tenant)
+        if use.point < quota.max_point:
+            return ADMITTED
+        return REJECTED_DECISION
+
+    # ----------------------------------------------------------- accounting
+
+    def admit_analytics(self, tenant: str) -> str:
+        decision = self.decide_analytics(tenant)
+        if decision == ADMITTED:
+            self.acquire(tenant)
+        elif decision == QUEUED_DECISION:
+            self._usage(tenant).queued += 1
+        else:
+            self.rejections += 1
+        return decision
+
+    def admit_point(self, tenant: str) -> str:
+        decision = self.decide_point(tenant)
+        if decision == ADMITTED:
+            self._usage(tenant).point += 1
+        else:
+            self.rejections += 1
+        return decision
+
+    def acquire(self, tenant: str) -> None:
+        """Reserve bandwidth for a run that starts executing."""
+        self._usage(tenant).running += 1
+        self.reserved += self.reservation
+
+    def release(self, tenant: str) -> None:
+        """Return a finished run's reservation."""
+        use = self._usage(tenant)
+        use.running -= 1
+        self.reserved -= self.reservation
+        if self.reserved < 1e-9:     # clamp float dust, keep decisions exact
+            self.reserved = 0.0
+
+    def promote(self, tenant: str) -> bool:
+        """Try to move one queued run of ``tenant`` into execution."""
+        quota, use = self.quota_for(tenant), self._usage(tenant)
+        if (use.queued > 0 and use.running < quota.max_running
+                and self.reserved + self.reservation <= self.capacity):
+            use.queued -= 1
+            self.acquire(tenant)
+            return True
+        return False
+
+    def release_point(self, tenant: str) -> None:
+        self._usage(tenant).point -= 1
+
+    # ------------------------------------------------------------- recovery
+
+    def note_queued(self, tenant: str) -> None:
+        """Re-account a journaled queued run during crash recovery."""
+        self._usage(tenant).queued += 1
+
+    def note_point(self, tenant: str) -> None:
+        """Re-account a journaled outstanding point query during recovery."""
+        self._usage(tenant).point += 1
+
+    def note_rejection(self) -> None:
+        """Re-account a journaled rejection during recovery."""
+        self.rejections += 1
+
+    def utilization(self) -> float:
+        """Reserved fraction of device read bandwidth (for reports)."""
+        return self.reserved / self.capacity if self.capacity else 0.0

@@ -1,0 +1,164 @@
+"""Job vocabulary of the analytics service: specs, states, results.
+
+A *job* is either a full analytics run (``pagerank`` / ``bfs`` / ``cc`` —
+the single-program algorithms the PR 3 checkpoint protocol covers, so every
+admitted run is crash→remount→resume durable for free) or a cheap *point
+query* answered in milliseconds of simulated time:
+
+* ``neighborhood`` — all vertices within ``depth`` hops of ``v``;
+* ``path`` — an unweighted shortest path ``src → dst`` (BFS, depth-capped);
+* ``vstate`` — vertex values of a *finished* analytics job (``ref`` names
+  the job), read back from its durable result file.
+
+Specs are plain data (tenant, kind, params, arrival round), so a workload
+is a JSON-able list and scheduler decisions stay pure functions of it.
+CLI syntax: ``tenant:kind[:k=v[,k=v...]][@round]`` — e.g.
+``t0:pagerank:iters=2``, ``t1:neighborhood:v=5,depth=2``,
+``t0:path:src=0,dst=9@1``, ``t1:vstate:ref=svc-1,v=0+3+7``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+ANALYTICS_KINDS = ("pagerank", "bfs", "cc")
+POINT_KINDS = ("neighborhood", "path", "vstate")
+JOB_KINDS = ANALYTICS_KINDS + POINT_KINDS
+
+#: Terminal and non-terminal job states.
+QUEUED = "queued"          # admitted to the system but waiting for bandwidth
+RUNNING = "running"        # analytics job with an in-flight engine run
+PENDING = "pending"        # point query waiting for its batch (or dependency)
+DONE = "done"
+REJECTED = "rejected"      # admission control refused the submission
+FAILED = "failed"          # dependency missing/failed (vstate on a dead ref)
+TERMINAL_STATES = (DONE, REJECTED, FAILED)
+
+#: BFS depth cap for ``path`` queries without an explicit ``cap`` param.
+DEFAULT_PATH_CAP = 64
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One submission: who wants what, and when it arrives."""
+
+    tenant: str
+    kind: str
+    params: dict = field(default_factory=dict)
+    at_round: int = 0
+
+    def __post_init__(self):
+        if self.kind not in JOB_KINDS:
+            raise ValueError(f"unknown job kind {self.kind!r}; known: "
+                             + ", ".join(JOB_KINDS))
+        if not self.tenant or any(c in self.tenant for c in ":/ @"):
+            raise ValueError(f"bad tenant name {self.tenant!r}")
+        if self.at_round < 0:
+            raise ValueError(f"at_round must be >= 0, got {self.at_round}")
+
+    @property
+    def is_analytics(self) -> bool:
+        return self.kind in ANALYTICS_KINDS
+
+    def to_dict(self) -> dict:
+        return {"tenant": self.tenant, "kind": self.kind,
+                "params": dict(self.params), "at_round": self.at_round}
+
+    @staticmethod
+    def from_dict(d: dict) -> "JobSpec":
+        return JobSpec(tenant=d["tenant"], kind=d["kind"],
+                       params=dict(d.get("params", {})),
+                       at_round=int(d.get("at_round", 0)))
+
+
+def parse_job_spec(text: str) -> JobSpec:
+    """Parse the CLI job syntax (see module docstring)."""
+    body, _, round_part = text.partition("@")
+    at_round = 0
+    if round_part:
+        try:
+            at_round = int(round_part)
+        except ValueError:
+            raise ValueError(f"bad @round suffix in job spec {text!r}") from None
+    pieces = body.split(":", 2)
+    if len(pieces) < 2:
+        raise ValueError(
+            f"job spec {text!r} needs tenant:kind[:params][@round]")
+    tenant, kind = pieces[0], pieces[1]
+    params: dict = {}
+    if len(pieces) == 3 and pieces[2]:
+        for pair in pieces[2].split(","):
+            k, sep, v = pair.partition("=")
+            if not sep:
+                raise ValueError(f"bad param {pair!r} in job spec {text!r}")
+            params[k.strip()] = _parse_param(v.strip())
+    return JobSpec(tenant=tenant, kind=kind, params=params, at_round=at_round)
+
+
+def _parse_param(value: str):
+    """Param values: int where possible, ``a+b+c`` as an int list, else str."""
+    if "+" in value:
+        return [_parse_scalar(v) for v in value.split("+")]
+    return _parse_scalar(value)
+
+
+def _parse_scalar(value: str):
+    try:
+        return int(value)
+    except ValueError:
+        return value
+
+
+@dataclass
+class Job:
+    """Scheduler-side record of one submission; journaled as a dict.
+
+    Everything here is JSON-safe so the table round-trips through the
+    durable journal byte-for-byte — job state survives the same power-loss
+    injection the engine does.
+    """
+
+    job_id: str
+    spec: JobSpec
+    state: str = PENDING
+    #: Initial admission decision ("admitted" | "queued" | "rejected") —
+    #: recorded once at arrival and never recomputed, part of the trace.
+    admission: str = ""
+    #: Result summary of a finished job (small, JSON-safe): per-kind fields
+    #: plus a crc32 checksum of the full payload for determinism checks.
+    result: dict = field(default_factory=dict)
+    #: Why a job was rejected/failed.
+    reason: str = ""
+
+    @property
+    def is_analytics(self) -> bool:
+        return self.spec.is_analytics
+
+    def to_dict(self) -> dict:
+        return {"job_id": self.job_id, "spec": self.spec.to_dict(),
+                "state": self.state, "admission": self.admission,
+                "result": self.result, "reason": self.reason}
+
+    @staticmethod
+    def from_dict(d: dict) -> "Job":
+        return Job(job_id=d["job_id"], spec=JobSpec.from_dict(d["spec"]),
+                   state=d["state"], admission=d["admission"],
+                   result=dict(d["result"]), reason=d.get("reason", ""))
+
+
+def make_program(spec: JobSpec, num_vertices: int, default_root: int):
+    """Build the (namespaced-later) vertex program for an analytics spec."""
+    if spec.kind == "pagerank":
+        from repro.algorithms.pagerank import PageRankProgram
+
+        return PageRankProgram(num_vertices), int(spec.params.get("iters", 1))
+    if spec.kind == "bfs":
+        from repro.algorithms.bfs import BFSProgram
+
+        root = int(spec.params.get("root", default_root))
+        return BFSProgram(root), None
+    if spec.kind == "cc":
+        from repro.algorithms.cc import LabelPropagationProgram
+
+        return LabelPropagationProgram(), None
+    raise ValueError(f"not an analytics kind: {spec.kind!r}")

@@ -1,0 +1,477 @@
+"""The deterministic service scheduler: many jobs, one sim clock.
+
+:class:`GraphService` turns one assembled system stack into a multi-tenant
+analytics service.  Clients :meth:`~GraphService.submit` jobs (analytics
+runs and point queries, tagged with an arrival round); :meth:`~GraphService.run`
+then drives everything to completion in discrete *rounds*:
+
+1. **Arrivals** — submissions tagged with this round get their admission
+   decision (admit / queue / reject; see :mod:`repro.service.admission`).
+2. **Analytics steps** — every running job advances exactly one superstep,
+   in job-id order, via the engine's cooperative :class:`EngineRun` handle.
+   A job that completes writes its vertex values to a durable result file
+   and releases its bandwidth reservation.
+3. **Promotion** — queued runs start executing if a completion freed
+   bandwidth.
+4. **Point batch** — all outstanding point queries advance together in one
+   shared batch (:func:`repro.service.queries.run_point_batch`); ``vstate``
+   reads resolve once their referenced job is done.
+5. **Journal** — the whole job table is published to flash through the
+   same staging → seal → atomic-rename protocol the engine checkpoint
+   uses, so job state survives power loss.
+
+Every decision above is a pure function of (submission list, journaled job
+table): no wall clock, no randomness, no dependence on absolute sim time.
+Combined with the engine's own determinism across worker counts (PR 5) and
+crash/resume (PR 3), the service's :meth:`~GraphService.trace` is
+bit-identical across ``--workers`` and power-loss injection — absolute
+round/time quantities are deliberately excluded, because crash re-execution
+legitimately repeats work.
+
+On a :class:`PowerLossError` the service remounts the store (charging real
+recovery time), reloads the journal, rebuilds the admission ledger from the
+journaled job states, and re-creates engines with ``auto_resume=True`` so
+each interrupted run continues from its own checkpoint namespace
+(``svc:<job-id>:ckpt``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.flash.device import PowerLossError
+from repro.service.admission import (
+    ADMITTED,
+    QUEUED_DECISION,
+    AdmissionController,
+    TenantQuota,
+)
+from repro.service.jobs import (
+    DONE,
+    FAILED,
+    PENDING,
+    QUEUED,
+    REJECTED,
+    RUNNING,
+    TERMINAL_STATES,
+    Job,
+    JobSpec,
+    make_program,
+    parse_job_spec,
+)
+from repro.service.queries import checksum, read_vstate, run_point_batch
+
+JOURNAL_FILE = "svc:jobs"
+JOURNAL_VERSION = 1
+
+
+@dataclass
+class ServiceConfig:
+    """Service-wide knobs (all deterministic)."""
+
+    #: Per-job engine checkpoint cadence (supersteps); every admitted run is
+    #: crash→remount→resume durable through the PR 3 machinery.
+    checkpoint_every: int = 2
+    #: Hard ceiling on scheduler rounds (a stuck dependency otherwise spins).
+    max_rounds: int = 100_000
+    #: Give-up bound for the remount retry loop under crash injection.
+    max_remounts: int = 10_000
+
+
+@dataclass
+class ServiceReport:
+    """What :meth:`GraphService.run` hands back."""
+
+    jobs: list
+    trace: list
+    rounds: int
+    remounts: int
+    power_losses: int
+    rejections: int
+
+    def jobs_by_state(self, state: str) -> list:
+        return [j for j in self.jobs if j.state == state]
+
+
+class GraphService:
+    """A multi-tenant graph analytics service over one system stack."""
+
+    def __init__(self, system, graph, num_vertices: int,
+                 config: ServiceConfig | None = None,
+                 quotas: dict[str, TenantQuota] | None = None,
+                 default_root: int = 0):
+        self.system = system
+        self.graph = graph
+        self.num_vertices = num_vertices
+        self.config = config or ServiceConfig()
+        self.default_root = default_root
+        self._quotas = dict(quotas or {})
+        self.controller = AdmissionController(system.profile.flash_read_bw,
+                                              self._quotas)
+        #: (job_id, spec) in submission order — the workload definition.
+        #: Journaled alongside the job table so future arrivals replay
+        #: identically after a crash.
+        self.submissions: list[tuple[str, JobSpec]] = []
+        self.jobs: dict[str, Job] = {}
+        self.round = 0
+        self.remounts = 0
+        self._engines: dict = {}
+        self._next_id = 1
+
+    # -------------------------------------------------------------- submission
+
+    def submit(self, spec: JobSpec | str) -> str:
+        """Register a job; returns its deterministic id (``svc-<n>``).
+
+        Admission is decided at the spec's arrival round, not here — a
+        submission is just workload input.
+        """
+        if isinstance(spec, str):
+            spec = parse_job_spec(spec)
+        job_id = f"svc-{self._next_id}"
+        self._next_id += 1
+        self.submissions.append((job_id, spec))
+        return job_id
+
+    def submit_all(self, specs) -> list[str]:
+        return [self.submit(spec) for spec in specs]
+
+    # --------------------------------------------------------------- main loop
+
+    def run(self) -> ServiceReport:
+        """Drive all submitted jobs to a terminal state."""
+        while not self._finished():
+            if self.round >= self.config.max_rounds:
+                raise RuntimeError(
+                    f"service exceeded {self.config.max_rounds} rounds; "
+                    f"a job dependency is probably unsatisfiable")
+            try:
+                self._run_round()
+            except PowerLossError:
+                while True:
+                    try:
+                        self._recover()
+                        break
+                    except PowerLossError:
+                        continue
+        crashes = self.system.device.crashes
+        return ServiceReport(
+            jobs=[self.jobs[jid] for jid, _ in self.submissions
+                  if jid in self.jobs],
+            trace=self.trace(),
+            rounds=self.round,
+            remounts=self.remounts,
+            power_losses=crashes.stats.power_losses if crashes else 0,
+            rejections=self.controller.rejections,
+        )
+
+    def _finished(self) -> bool:
+        if not self.submissions:
+            return True
+        for job_id, _ in self.submissions:
+            job = self.jobs.get(job_id)
+            if job is None or job.state not in TERMINAL_STATES:
+                return False
+        return True
+
+    def _run_round(self) -> None:
+        r = self.round
+        # 1. Arrivals (submission order): one admission decision each,
+        # recorded once — never recomputed, part of the canonical trace.
+        for job_id, spec in self.submissions:
+            if spec.at_round == r and job_id not in self.jobs:
+                self._arrive(job_id, spec)
+        # 2. One superstep per running analytics job, job-id order.
+        for job_id, _ in self.submissions:
+            job = self.jobs.get(job_id)
+            if job is not None and job.state == RUNNING:
+                self._step_job(job)
+        # 3. Completions may have freed bandwidth: promote queued runs.
+        for job_id, _ in self.submissions:
+            job = self.jobs.get(job_id)
+            if (job is not None and job.state == QUEUED
+                    and self.controller.promote(job.spec.tenant)):
+                job.state = RUNNING
+        # 4. All outstanding point queries advance as one shared batch.
+        self._run_points()
+        # 5. Publish the new job table; this is the round's commit point.
+        self.round = r + 1
+        self._write_journal()
+
+    # ---------------------------------------------------------------- arrivals
+
+    def _arrive(self, job_id: str, spec: JobSpec) -> None:
+        job = Job(job_id=job_id, spec=spec)
+        if spec.is_analytics:
+            decision = self.controller.admit_analytics(spec.tenant)
+            job.admission = decision
+            if decision == ADMITTED:
+                job.state = RUNNING
+            elif decision == QUEUED_DECISION:
+                job.state = QUEUED
+            else:
+                job.state = REJECTED
+                job.reason = "flash bandwidth saturated and tenant queue full"
+        else:
+            decision = self.controller.admit_point(spec.tenant)
+            job.admission = decision
+            if decision == ADMITTED:
+                job.state = PENDING
+            else:
+                job.state = REJECTED
+                job.reason = "tenant point-query quota exceeded"
+        self.jobs[job_id] = job
+
+    # ----------------------------------------------------------- analytics jobs
+
+    def _build_run(self, job: Job):
+        """(Re)create the cooperative engine run for an admitted job.
+
+        ``auto_resume=True`` unconditionally: with no checkpoint on flash it
+        is a fresh start, after a crash it resumes from the job's own
+        checkpoint namespace.  The program is namespaced by job id so two
+        concurrent runs of the same algorithm keep disjoint on-flash state.
+        """
+        program, limit = make_program(job.spec, self.num_vertices,
+                                      self.default_root)
+        program.namespaced(job.job_id)
+        engine = self.system.engine_for(
+            self.graph, self.num_vertices,
+            checkpoint_every=self.config.checkpoint_every,
+            auto_resume=True,
+            checkpoint_prefix=f"svc:{job.job_id}:ckpt")
+        run = engine.start(program, max_supersteps=limit)
+        self._engines[job.job_id] = run
+        return run
+
+    def _step_job(self, job: Job) -> None:
+        run = self._engines.get(job.job_id)
+        if run is None:
+            run = self._build_run(job)
+        if run.step():
+            return
+        result = run.finish()
+        self._engines.pop(job.job_id, None)
+        values = result.final_values()
+        values_file = self._write_values(job.job_id, values)
+        job.result = {
+            "kind": job.spec.kind,
+            "supersteps": result.num_supersteps,
+            "modes": [m.mode for m in result.supersteps],
+            "checksum": checksum(values),
+            "values_file": values_file,
+            "dtype": values.dtype.str,
+            "elapsed_s": result.elapsed_s,
+        }
+        job.state = DONE
+        self.controller.release(job.spec.tenant)
+
+    def _write_values(self, job_id: str, values: np.ndarray) -> str:
+        """Durably publish a finished job's vertex values.
+
+        Staging → seal → atomic rename, like the engine checkpoint: a crash
+        between completion and the journal commit re-runs the job, and the
+        rewrite lands over the partial file instead of appending to it.
+        """
+        store = self.system.store
+        final = f"svc:{job_id}:values"
+        staging = f"{final}:staging"
+        if store.exists(staging):
+            store.delete(staging)
+        store.append_array(staging, values)
+        store.seal(staging)
+        store.rename(staging, final, overwrite=True)
+        return final
+
+    # ------------------------------------------------------------ point queries
+
+    def _run_points(self) -> None:
+        batch: list[tuple[str, str, dict]] = []
+        for job_id, _ in self.submissions:
+            job = self.jobs.get(job_id)
+            if job is None or job.state != PENDING:
+                continue
+            if job.spec.kind in ("neighborhood", "path"):
+                batch.append((job_id, job.spec.kind, job.spec.params))
+            else:
+                self._try_vstate(job)
+        if not batch:
+            return
+        results = run_point_batch(self.graph, self.system.backend,
+                                  self.system.clock, batch)
+        for job_id, _, _ in batch:
+            job = self.jobs[job_id]
+            job.result = results[job_id]
+            job.state = DONE
+            self.controller.release_point(job.spec.tenant)
+
+    def _try_vstate(self, job: Job) -> None:
+        """Resolve a vertex-state read once its referenced job is terminal."""
+        ref = str(job.spec.params.get("ref", ""))
+        known = any(jid == ref for jid, _ in self.submissions)
+        target = self.jobs.get(ref)
+        if not known:
+            job.state = FAILED
+            job.reason = f"unknown ref job {ref!r}"
+            self.controller.release_point(job.spec.tenant)
+            return
+        if target is None or target.state not in TERMINAL_STATES:
+            return  # dependency still in flight; stays pending
+        if target.state != DONE or not target.spec.is_analytics:
+            job.state = FAILED
+            job.reason = f"ref job {ref} ended {target.state}"
+            self.controller.release_point(job.spec.tenant)
+            return
+        vertices = job.spec.params.get("v", [0])
+        if isinstance(vertices, int):
+            vertices = [vertices]
+        job.result = read_vstate(self.system.store,
+                                 target.result["values_file"],
+                                 np.dtype(target.result["dtype"]), vertices)
+        job.state = DONE
+        self.controller.release_point(job.spec.tenant)
+
+    # ------------------------------------------------------------- durability
+
+    def _write_journal(self) -> None:
+        state = {
+            "version": JOURNAL_VERSION,
+            "round": self.round,
+            "next_id": self._next_id,
+            "submissions": [{"job_id": jid, "spec": spec.to_dict()}
+                            for jid, spec in self.submissions],
+            "jobs": [self.jobs[jid].to_dict()
+                     for jid, _ in self.submissions if jid in self.jobs],
+        }
+        store = self.system.store
+        staging = f"{JOURNAL_FILE}:staging"
+        if store.exists(staging):
+            store.delete(staging)
+        store.append(staging, json.dumps(state).encode())
+        store.seal(staging)
+        store.rename(staging, JOURNAL_FILE, overwrite=True)
+
+    def _recover(self) -> None:
+        """Answer a power loss: remount, reload the journal, rebuild state."""
+        self._engines = {}
+        while True:
+            self.remounts += 1
+            if self.remounts > self.config.max_remounts:
+                raise RuntimeError(
+                    f"gave up after {self.config.max_remounts} remounts; "
+                    f"crash plan leaves the service no forward progress")
+            try:
+                self.system.remount()
+                break
+            except PowerLossError:
+                continue
+        self.graph = self.system.reattach_graph(self.graph)
+        store = self.system.store
+        if store.exists(JOURNAL_FILE):
+            state = json.loads(bytes(store.read(JOURNAL_FILE)))
+            if state.get("version") != JOURNAL_VERSION:
+                raise RuntimeError(
+                    f"service journal version {state.get('version')!r} "
+                    f"unsupported (want {JOURNAL_VERSION})")
+            self.round = int(state["round"])
+            self._next_id = int(state["next_id"])
+            self.submissions = [(d["job_id"], JobSpec.from_dict(d["spec"]))
+                                for d in state["submissions"]]
+            self.jobs = {d["job_id"]: Job.from_dict(d)
+                         for d in state["jobs"]}
+        else:
+            # Crash before the first commit point: the whole first round
+            # replays from the (in-memory) workload definition.
+            self.round = 0
+            self.jobs = {}
+        self._rebuild_controller()
+
+    def _rebuild_controller(self) -> None:
+        """Reconstruct the admission ledger from journaled job states.
+
+        Decisions themselves are *not* recomputed — they were recorded at
+        arrival and survive in the journal; only the live counters (running
+        reservations, queue depths, outstanding queries) are re-derived.
+        """
+        self.controller = AdmissionController(
+            self.system.profile.flash_read_bw, self._quotas)
+        for job_id, _ in self.submissions:
+            job = self.jobs.get(job_id)
+            if job is None:
+                continue
+            if job.is_analytics:
+                if job.state == RUNNING:
+                    self.controller.acquire(job.spec.tenant)
+                elif job.state == QUEUED:
+                    self.controller.note_queued(job.spec.tenant)
+                elif job.state == REJECTED:
+                    self.controller.note_rejection()
+            else:
+                if job.state == PENDING:
+                    self.controller.note_point(job.spec.tenant)
+                elif job.state == REJECTED:
+                    self.controller.note_rejection()
+
+    # ------------------------------------------------------------------ trace
+
+    def trace(self) -> list[str]:
+        """The canonical scheduler trace — the determinism suite's artifact.
+
+        One line per submission (in submission order) plus a rejection
+        count.  Absolute rounds and simulated times are excluded on
+        purpose: crash re-execution repeats work, shifting both, while
+        admission decisions, superstep counts, mode traces and result
+        checksums are invariants.
+        """
+        from repro.perf.report import mode_trace_summary
+
+        lines = []
+        for job_id, spec in self.submissions:
+            job = self.jobs.get(job_id)
+            if job is None:
+                lines.append(f"{job_id} tenant={spec.tenant} "
+                             f"kind={spec.kind} state=unarrived")
+                continue
+            parts = [job_id, f"tenant={spec.tenant}", f"kind={spec.kind}",
+                     f"admission={job.admission}", f"state={job.state}"]
+            res = job.result
+            if job.state == DONE and job.is_analytics:
+                parts.append(f"supersteps={res['supersteps']}")
+                parts.append(f"modes={mode_trace_summary(res['modes'])}")
+                parts.append(f"checksum={res['checksum']:08x}")
+            elif job.state == DONE:
+                if res.get("kind") == "path":
+                    parts.append(f"found={res['found']}")
+                parts.append(f"checksum={res['checksum']:08x}")
+            elif job.reason:
+                parts.append(f"reason={job.reason!r}")
+            lines.append(" ".join(parts))
+        lines.append(f"rejections={self.controller.rejections}")
+        return lines
+
+
+def demo_quotas() -> dict[str, TenantQuota]:
+    """Quotas of the two-tenant demo: tenant B cannot queue, so its second
+    analytics submission is rejected once the flash channel saturates."""
+    return {"tA": TenantQuota(max_running=1, max_queued=1, max_point=8),
+            "tB": TenantQuota(max_running=1, max_queued=0, max_point=8)}
+
+
+def demo_workload() -> list[str]:
+    """The acceptance demo: 2 admitted analytics runs + 6 point queries
+    across 2 tenants, plus one analytics submission that admission control
+    rejects (9 submitted, 8 complete)."""
+    return [
+        "tA:pagerank:iters=2",
+        "tB:cc",
+        "tB:bfs",                         # rejected: saturated, no queue slot
+        "tA:neighborhood:v=0,depth=2",
+        "tA:path:src=0,dst=5",
+        "tA:vstate:ref=svc-1,v=0+1+2",
+        "tB:neighborhood:v=3,depth=1",
+        "tB:path:src=1,dst=4",
+        "tB:vstate:ref=svc-2,v=0+1",
+    ]

@@ -1,0 +1,92 @@
+"""Admission control: bandwidth reservations and per-tenant quotas."""
+
+import pytest
+
+from repro.service import AdmissionController, TenantQuota
+from repro.service.admission import (
+    ADMITTED,
+    ANALYTICS_BW_FRACTION,
+    QUEUED_DECISION,
+    REJECTED_DECISION,
+)
+
+BW = 1000.0  # arbitrary device read bandwidth for the unit tests
+
+
+def controller(**quotas):
+    return AdmissionController(BW, {t: q for t, q in quotas.items()})
+
+
+def test_two_runs_fit_third_queues():
+    # 0.45 reservations: two fit under the channel, the third must wait.
+    ctrl = controller(a=TenantQuota(max_running=3, max_queued=2))
+    assert ctrl.admit_analytics("a") == ADMITTED
+    assert ctrl.admit_analytics("a") == ADMITTED
+    assert ctrl.admit_analytics("a") == QUEUED_DECISION
+    assert ctrl.utilization() == pytest.approx(2 * ANALYTICS_BW_FRACTION)
+
+
+def test_full_queue_rejects():
+    ctrl = controller(a=TenantQuota(max_running=1, max_queued=1))
+    assert ctrl.admit_analytics("a") == ADMITTED
+    assert ctrl.admit_analytics("a") == QUEUED_DECISION
+    assert ctrl.admit_analytics("a") == REJECTED_DECISION
+    assert ctrl.rejections == 1
+
+
+def test_tenant_running_quota_queues_even_with_bandwidth():
+    ctrl = controller(a=TenantQuota(max_running=1, max_queued=1))
+    assert ctrl.admit_analytics("a") == ADMITTED
+    # Channel has room for a second reservation, but the tenant does not.
+    assert ctrl.admit_analytics("a") == QUEUED_DECISION
+
+
+def test_saturation_is_cross_tenant():
+    ctrl = controller(a=TenantQuota(max_running=2, max_queued=0),
+                      b=TenantQuota(max_running=1, max_queued=0))
+    assert ctrl.admit_analytics("a") == ADMITTED
+    assert ctrl.admit_analytics("a") == ADMITTED
+    # Tenant b is within its own quota but the channel is saturated and it
+    # has no queue slots: rejected.
+    assert ctrl.admit_analytics("b") == REJECTED_DECISION
+
+
+def test_release_then_promote():
+    ctrl = controller(a=TenantQuota(max_running=2, max_queued=2))
+    assert ctrl.admit_analytics("a") == ADMITTED
+    assert ctrl.admit_analytics("a") == ADMITTED
+    assert ctrl.admit_analytics("a") == QUEUED_DECISION
+    assert not ctrl.promote("a")          # still saturated
+    ctrl.release("a")
+    assert ctrl.promote("a")              # freed bandwidth, queued run starts
+    assert not ctrl.promote("a")          # queue now empty
+    assert ctrl.utilization() == pytest.approx(2 * ANALYTICS_BW_FRACTION)
+
+
+def test_point_query_quota():
+    ctrl = controller(a=TenantQuota(max_point=2))
+    assert ctrl.admit_point("a") == ADMITTED
+    assert ctrl.admit_point("a") == ADMITTED
+    assert ctrl.admit_point("a") == REJECTED_DECISION
+    ctrl.release_point("a")
+    assert ctrl.admit_point("a") == ADMITTED
+
+
+def test_point_queries_do_not_reserve_bandwidth():
+    ctrl = controller()
+    ctrl.admit_point("a")
+    assert ctrl.utilization() == 0.0
+
+
+def test_default_quota_for_unknown_tenant():
+    ctrl = controller()
+    quota = ctrl.quota_for("anyone")
+    assert quota == TenantQuota()
+
+
+def test_decide_has_no_side_effects():
+    ctrl = controller(a=TenantQuota(max_running=1, max_queued=0))
+    assert ctrl.decide_analytics("a") == ADMITTED
+    assert ctrl.decide_analytics("a") == ADMITTED  # nothing was reserved
+    assert ctrl.reserved == 0.0
+    assert ctrl.rejections == 0

@@ -1,0 +1,121 @@
+"""Batched point queries: shared passes, solo-equality, parent determinism."""
+
+import numpy as np
+import pytest
+
+from repro.service.queries import run_point_batch
+
+
+def run_queries(service, queries):
+    return run_point_batch(service.graph, service.system.backend,
+                           service.system.clock, queries)
+
+
+def test_batched_equals_one_at_a_time(make_service):
+    queries = [
+        ("q1", "neighborhood", {"v": 0, "depth": 2}),
+        ("q2", "neighborhood", {"v": 3, "depth": 1}),
+        ("q3", "path", {"src": 0, "dst": 5}),
+        ("q4", "path", {"src": 1, "dst": 4}),
+        ("q5", "neighborhood", {"v": 7, "depth": 3}),
+    ]
+    batched = run_queries(make_service(), queries)
+    for query in queries:
+        solo = run_queries(make_service(), [query])
+        assert batched[query[0]] == solo[query[0]]
+
+
+def test_neighborhood_matches_reference_bfs(make_service, service_graph):
+    service = make_service()
+    result = run_queries(service, [("q", "neighborhood",
+                                    {"v": 2, "depth": 2})])["q"]
+    # Reference: in-memory BFS over the CSR arrays.
+    reach = {2}
+    frontier = {2}
+    for _ in range(2):
+        nxt = set()
+        for v in frontier:
+            nxt.update(int(d) for d in service_graph.targets[
+                service_graph.offsets[v]:service_graph.offsets[v + 1]])
+        frontier = nxt - reach
+        reach |= frontier
+    assert result["count"] == len(reach)
+
+
+def test_path_is_a_real_shortest_path(make_service, service_graph):
+    service = make_service()
+    result = run_queries(service, [("q", "path", {"src": 0, "dst": 9})])["q"]
+    assert result["found"]
+    path = result["path"]
+    assert path[0] == 0 and path[-1] == 9
+    # Every hop must be a real edge.
+    for a, b in zip(path, path[1:]):
+        targets = service_graph.targets[
+            service_graph.offsets[a]:service_graph.offsets[a + 1]]
+        assert b in targets
+    # And no shorter path may exist (reference BFS distance).
+    dist = {0: 0}
+    frontier = [0]
+    while frontier and 9 not in dist:
+        nxt = []
+        for v in frontier:
+            for d in service_graph.targets[
+                    service_graph.offsets[v]:service_graph.offsets[v + 1]]:
+                if int(d) not in dist:
+                    dist[int(d)] = dist[v] + 1
+                    nxt.append(int(d))
+        frontier = nxt
+    assert result["hops"] == dist[9]
+
+
+def test_path_to_self(make_service):
+    result = run_queries(make_service(), [("q", "path",
+                                           {"src": 4, "dst": 4})])["q"]
+    assert result["found"] and result["path"] == [4] and result["hops"] == 0
+
+
+def test_path_depth_cap_gives_not_found(make_service):
+    # cap=0 forbids taking any edge: unreachable unless src == dst.
+    result = run_queries(make_service(), [("q", "path",
+                                           {"src": 0, "dst": 9,
+                                            "cap": 0})])["q"]
+    assert not result["found"] and result["path"] == []
+
+
+def test_batch_shares_flash_reads(make_service):
+    queries = [("q1", "neighborhood", {"v": 0, "depth": 2}),
+               ("q2", "neighborhood", {"v": 1, "depth": 2}),
+               ("q3", "neighborhood", {"v": 2, "depth": 2})]
+    batch_service = make_service()
+    base = batch_service.system.clock.bytes_moved("flash")
+    run_queries(batch_service, queries)
+    batched_bytes = batch_service.system.clock.bytes_moved("flash") - base
+    solo_bytes = 0
+    for query in queries:
+        service = make_service()
+        base = service.system.clock.bytes_moved("flash")
+        run_queries(service, [query])
+        solo_bytes += service.system.clock.bytes_moved("flash") - base
+    assert batched_bytes < solo_bytes
+
+
+def test_vertex_out_of_range_rejected(make_service):
+    service = make_service()
+    with pytest.raises(ValueError, match="out of range"):
+        run_queries(service, [("q", "neighborhood",
+                               {"v": service.num_vertices, "depth": 1})])
+
+
+def test_results_are_json_safe(make_service):
+    import json
+
+    results = run_queries(make_service(), [
+        ("q1", "neighborhood", {"v": 0, "depth": 1}),
+        ("q2", "path", {"src": 0, "dst": 5}),
+    ])
+    round_tripped = json.loads(json.dumps(results))
+    assert round_tripped == results
+    assert all(isinstance(v, int)
+               for v in results["q1"]["vertices"])
+    assert not any(isinstance(v, np.integer)
+                   for v in results["q2"]["path"])

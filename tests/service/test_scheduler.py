@@ -1,0 +1,215 @@
+"""Scheduler end-to-end: demo workload, determinism, crash durability."""
+
+import numpy as np
+import pytest
+
+from repro.flash.faults import CrashPlan
+from repro.service import (
+    GraphService,
+    JobSpec,
+    TenantQuota,
+    demo_quotas,
+    demo_workload,
+    parse_job_spec,
+)
+from repro.service.scheduler import JOURNAL_FILE
+
+
+def run_demo(make_service, **kwargs):
+    service = make_service(quotas=demo_quotas(), **kwargs)
+    service.submit_all(demo_workload())
+    return service.run()
+
+
+# ------------------------------------------------------------------ the demo
+
+def test_demo_workload_completes(make_service):
+    report = run_demo(make_service)
+    # 2 analytics + 6 point queries complete; 1 submission rejected.
+    assert len(report.jobs) == 9
+    assert len(report.jobs_by_state("done")) == 8
+    assert len(report.jobs_by_state("rejected")) == 1
+    assert report.rejections == 1
+    rejected = report.jobs_by_state("rejected")[0]
+    assert rejected.spec.kind == "bfs" and rejected.spec.tenant == "tB"
+
+
+def test_demo_trace_shape(make_service):
+    report = run_demo(make_service)
+    assert len(report.trace) == 10  # 9 jobs + rejection count
+    assert report.trace[-1] == "rejections=1"
+    assert any("admission=rejected" in line for line in report.trace)
+    assert all("checksum=" in line for line in report.trace
+               if "state=done" in line)
+
+
+# -------------------------------------------------------------- determinism
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_trace_bit_identical_across_workers(make_service, workers):
+    base = run_demo(make_service, workers=1)
+    other = run_demo(make_service, workers=workers)
+    assert other.trace == base.trace
+
+
+def test_trace_bit_identical_under_power_loss(make_service):
+    base = run_demo(make_service)
+    crashed = run_demo(make_service, crashes=CrashPlan.parse("seed=3,ops=40"))
+    assert crashed.power_losses > 0      # the plan actually fired
+    assert crashed.remounts > 0
+    assert crashed.trace == base.trace   # ...and left no trace of itself
+
+
+def test_trace_bit_identical_under_power_loss_with_workers(make_service):
+    base = run_demo(make_service)
+    crashed = run_demo(make_service, workers=2,
+                       crashes=CrashPlan.parse("at=300/1500/4000"))
+    assert crashed.power_losses > 0
+    assert crashed.trace == base.trace
+
+
+def test_adaptive_mode_completes(make_service):
+    report = run_demo(make_service, mode="adaptive")
+    assert len(report.jobs_by_state("done")) == 8
+    assert report.rejections == 1
+
+
+def test_rerun_is_reproducible(make_service):
+    assert run_demo(make_service).trace == run_demo(make_service).trace
+
+
+# ---------------------------------------------------------------- durability
+
+def test_job_state_survives_in_journal(make_service):
+    service = make_service(quotas=demo_quotas())
+    service.submit_all(demo_workload())
+    report = service.run()
+    store = service.system.store
+    assert store.exists(JOURNAL_FILE)
+    import json
+
+    state = json.loads(bytes(store.read(JOURNAL_FILE)))
+    assert state["round"] == report.rounds
+    assert len(state["jobs"]) == 9
+    done = [j for j in state["jobs"] if j["state"] == "done"]
+    assert len(done) == 8
+
+
+def test_analytics_values_durable_and_crash_invariant(make_service):
+    def values_of(report, job_id):
+        job = next(j for j in report.jobs if j.job_id == job_id)
+        return job.result["checksum"], job.result["values_file"]
+
+    base = run_demo(make_service)
+    crashed = run_demo(make_service,
+                       crashes=CrashPlan.parse("at=500/2500/6000"))
+    assert crashed.power_losses > 0
+    for job_id in ("svc-1", "svc-2"):
+        assert values_of(base, job_id) == values_of(crashed, job_id)
+
+
+def test_vstate_reads_finished_run(make_service, service_graph):
+    service = make_service()
+    pr = service.submit("t0:pagerank:iters=1")
+    service.submit(JobSpec(tenant="t0", kind="vstate",
+                           params={"ref": pr, "v": [0, 1, 2]}))
+    report = service.run()
+    vstate = report.jobs[1]
+    assert vstate.state == "done"
+    assert vstate.result["vertices"] == [0, 1, 2]
+    assert len(vstate.result["values"]) == 3
+    # Cross-check against the durable values file.
+    ref = report.jobs[0]
+    values = service.system.store.read_array(
+        ref.result["values_file"], np.dtype(ref.result["dtype"]))
+    assert vstate.result["values"] == [float(values[v]) for v in (0, 1, 2)]
+
+
+def test_vstate_unknown_ref_fails(make_service):
+    service = make_service()
+    service.submit("t0:vstate:ref=nope,v=0")
+    report = service.run()
+    job = report.jobs[0]
+    assert job.state == "failed"
+    assert "unknown ref" in job.reason
+
+
+def test_vstate_on_rejected_ref_fails(make_service):
+    service = make_service(quotas={"t0": TenantQuota(max_running=1,
+                                                     max_queued=0)})
+    service.submit("t0:pagerank:iters=1")
+    service.submit("t0:cc")        # admitted? no — t0 already running
+    service.submit("t0:vstate:ref=svc-2,v=0")
+    report = service.run()
+    assert report.jobs[1].state == "rejected"
+    vstate = report.jobs[2]
+    assert vstate.state == "failed"
+    assert "rejected" in vstate.reason
+
+
+# ------------------------------------------------------------------ arrivals
+
+def test_arrival_rounds_defer_admission(make_service):
+    service = make_service(quotas={"t0": TenantQuota(max_running=1,
+                                                     max_queued=0)})
+    service.submit("t0:pagerank:iters=1")
+    # Arrives only after the first run has finished: admitted, not rejected.
+    service.submit("t0:bfs@10")
+    report = service.run()
+    assert [j.state for j in report.jobs] == ["done", "done"]
+    assert report.rejections == 0
+
+
+def test_queued_job_runs_after_release(make_service):
+    service = make_service(quotas={"t0": TenantQuota(max_running=1,
+                                                     max_queued=1)})
+    service.submit("t0:pagerank:iters=1")
+    service.submit("t0:bfs")
+    report = service.run()
+    states = {j.job_id: (j.admission, j.state) for j in report.jobs}
+    assert states["svc-1"] == ("admitted", "done")
+    assert states["svc-2"] == ("queued", "done")
+
+
+def test_point_quota_rejection(make_service):
+    service = make_service(quotas={"t0": TenantQuota(max_point=1)})
+    service.submit("t0:neighborhood:v=0,depth=1")
+    service.submit("t0:neighborhood:v=1,depth=1")
+    report = service.run()
+    assert [j.state for j in report.jobs] == ["done", "rejected"]
+    assert "quota" in report.jobs[1].reason
+
+
+# ------------------------------------------------------------------- parsing
+
+def test_parse_job_spec_forms():
+    spec = parse_job_spec("t0:pagerank:iters=3")
+    assert spec.tenant == "t0" and spec.kind == "pagerank"
+    assert spec.params == {"iters": 3} and spec.at_round == 0
+    spec = parse_job_spec("t1:vstate:ref=svc-2,v=0+3+7@4")
+    assert spec.params == {"ref": "svc-2", "v": [0, 3, 7]}
+    assert spec.at_round == 4
+
+
+@pytest.mark.parametrize("bad", [
+    "noseparator", "t0:unknownkind", "t0:bfs@x", "t0:bfs:rootless",
+    "bad tenant:bfs",
+])
+def test_parse_job_spec_rejects(bad):
+    with pytest.raises(ValueError):
+        parse_job_spec(bad)
+
+
+def test_namespaced_program_names_are_scoped():
+    from repro.algorithms.pagerank import PageRankProgram
+
+    p = PageRankProgram(8).namespaced("svc-3")
+    assert p.name.endswith("@svc-3")
+    with pytest.raises(ValueError):
+        PageRankProgram(8).namespaced("bad label")
+
+
+def test_service_for_wires_through_config(make_service):
+    service = make_service()
+    assert isinstance(service, GraphService)
+    assert service.system.durable

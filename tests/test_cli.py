@@ -87,3 +87,83 @@ def test_run_with_timeline(capsys):
     assert code == 0
     assert "Per-superstep timeline" in out
     assert "total simulated time" in out
+
+
+def _metric(out, name):
+    row = next(line for line in out.splitlines() if line.startswith(name))
+    return row.split("|")[1].strip()
+
+
+def test_run_timeline_composes_with_faults(capsys):
+    # Regression: --timeline used to return through a separate path that
+    # silently dropped --faults (and --crash/--sanitize/--checkpoint-every),
+    # so fault plans never injected anything.  Now the timeline rides on the
+    # same cell and the recovery counters must be nonzero.
+    code, out, _ = run_cli(capsys, "run", "--system", "GraFBoost",
+                           "--algorithm", "bfs", "--dataset", "twitter",
+                           "--scale", "6e-5", "--timeline",
+                           "--faults", "seed=3,ber=5e-5")
+    assert code == 0
+    assert "Per-superstep timeline" in out
+    assert _metric(out, "corrected bit errors") != "0"
+
+
+def test_run_timeline_composes_with_crash(capsys):
+    code, out, _ = run_cli(capsys, "run", "--system", "GraFBoost",
+                           "--algorithm", "bfs", "--dataset", "twitter",
+                           "--scale", "6e-5", "--timeline",
+                           "--crash", "at=300/2000")
+    assert code == 0
+    assert "Per-superstep timeline" in out
+    assert _metric(out, "power losses") != "0"
+    assert _metric(out, "remounts") != "0"
+
+
+def test_run_timeline_rejected_for_baselines(capsys):
+    code, _, err = run_cli(capsys, "run", "--system", "GraphLab",
+                           "--algorithm", "bfs", "--dataset", "twitter",
+                           "--scale", "6e-5", "--timeline")
+    assert code == 2
+    assert "--timeline" in err
+
+
+def test_serve_demo(capsys):
+    code, out, _ = run_cli(capsys, "serve", "--demo", "--dataset", "twitter",
+                           "--scale", "1.6e-5")
+    assert code == 0
+    assert "Scheduler trace" in out
+    assert "rejections=1" in out
+    assert _metric(out, "jobs done") == "8"
+    assert _metric(out, "jobs rejected") == "1"
+
+
+def test_serve_with_explicit_jobs_and_quota(capsys):
+    code, out, _ = run_cli(capsys, "serve", "--dataset", "twitter",
+                           "--scale", "1.6e-5",
+                           "--job", "t0:bfs",
+                           "--job", "t0:neighborhood:v=0,depth=1",
+                           "--quota", "t0=1/0/4")
+    assert code == 0
+    assert _metric(out, "jobs done") == "2"
+
+
+def test_serve_requires_jobs(capsys):
+    code, _, err = run_cli(capsys, "serve", "--dataset", "twitter",
+                           "--scale", "1.6e-5")
+    assert code == 2
+    assert "--job" in err
+
+
+def test_serve_rejects_bad_quota(capsys):
+    code, _, err = run_cli(capsys, "serve", "--dataset", "twitter",
+                           "--scale", "1.6e-5", "--job", "t0:bfs",
+                           "--quota", "t0=oops")
+    assert code == 2
+    assert "quota" in err
+
+
+def test_serve_rejects_bad_job_spec(capsys):
+    code, _, err = run_cli(capsys, "serve", "--dataset", "twitter",
+                           "--scale", "1.6e-5", "--job", "t0:unknownkind")
+    assert code == 1
+    assert "unknown job kind" in err

@@ -107,3 +107,102 @@ def test_results_by_filters_algorithm():
     by_system = results_by(results, "bfs")
     assert set(by_system) == {"A", "B"}
     assert by_system["A"].elapsed_s == 1.0
+
+
+# ---------------------------------------------------------------- graph cache
+
+def test_graph_cache_evicts_in_lru_order():
+    from repro.harness import GraphCache
+
+    small = load_dataset("twitter", 2.0 ** -18, seed=1)
+    cache = GraphCache(budget_bytes=small.nbytes * 2 + 1)
+    cache.put(("a",), small)
+    cache.put(("b",), small)
+    assert cache.get(("a",)) is small      # refresh "a": "b" is now oldest
+    cache.put(("c",), small)               # over budget, evict "b"
+    assert len(cache) == 2
+    assert cache.get(("b",)) is None
+    assert cache.get(("a",)) is small and cache.get(("c",)) is small
+    assert cache.evictions == 1
+
+
+def test_graph_cache_keeps_most_recent_even_over_budget():
+    from repro.harness import GraphCache
+
+    graph = load_dataset("twitter", 2.0 ** -18, seed=1)
+    cache = GraphCache(budget_bytes=0)
+    cache.put(("only",), graph)
+    # A one-entry cache over budget still serves that entry: callers rely on
+    # back-to-back load_dataset identity.
+    assert cache.get(("only",)) is graph
+    cache.put(("next",), graph)
+    assert len(cache) == 1 and cache.get(("only",)) is None
+
+
+def test_graph_cache_stats_and_clear():
+    from repro.harness import GraphCache
+
+    graph = load_dataset("twitter", 2.0 ** -18, seed=1)
+    cache = GraphCache(budget_bytes=graph.nbytes * 10)
+    assert cache.get(("k",)) is None
+    cache.put(("k",), graph)
+    cache.get(("k",))
+    stats = cache.stats()
+    assert stats["entries"] == 1 and stats["hits"] == 1
+    assert stats["misses"] == 1 and stats["evictions"] == 0
+    assert stats["current_bytes"] == graph.nbytes
+    cache.clear()
+    assert len(cache) == 0 and cache.stats()["current_bytes"] == 0
+
+
+def test_graph_cache_budget_from_env(monkeypatch):
+    from repro.harness import GraphCache
+
+    monkeypatch.setenv("REPRO_GRAPH_CACHE_BYTES", "12345")
+    assert GraphCache().budget_bytes == 12345
+    monkeypatch.delenv("REPRO_GRAPH_CACHE_BYTES")
+    from repro.harness import GRAPH_CACHE_DEFAULT_BYTES
+
+    assert GraphCache().budget_bytes == GRAPH_CACHE_DEFAULT_BYTES
+
+
+def test_load_dataset_goes_through_shared_cache():
+    from repro.harness import graph_cache
+
+    before = graph_cache().stats()["hits"]
+    a = load_dataset("twitter", SCALE, seed=3)
+    b = load_dataset("twitter", SCALE, seed=3)
+    assert a is b
+    assert graph_cache().stats()["hits"] > before
+
+
+# ------------------------------------------------------- two-phase mode trace
+
+def test_bc_mode_trace_covers_both_phases():
+    graph = load_dataset("twitter", SCALE)
+    result = run_grafboost_system("GraFBoost", graph, "bc", scale=SCALE)
+    assert result.mode_phases is not None
+    labels = [label for label, _ in result.mode_phases]
+    assert labels == ["forward", "backtrace"]
+    # The trace spans forward *and* backtrace supersteps — the backtrace
+    # phase used to be silently dropped.
+    lengths = [n for _, n in result.mode_phases]
+    assert all(n > 0 for n in lengths)
+    assert len(result.mode_trace) == sum(lengths)
+
+
+def test_bc_mode_trace_summary_labels_phases():
+    from repro.perf.report import mode_trace_summary
+
+    graph = load_dataset("twitter", SCALE)
+    result = run_grafboost_system("GraFBoost", graph, "bc", scale=SCALE)
+    summary = mode_trace_summary(result.mode_trace, result.mode_phases)
+    assert "forward:" in summary and "backtrace:" in summary
+
+
+def test_mode_trace_summary_rejects_mismatched_phases():
+    from repro.perf.report import mode_trace_summary
+
+    with pytest.raises(ValueError, match="do not cover"):
+        mode_trace_summary(["sortreduce"] * 3,
+                           phases=[("forward", 1), ("backtrace", 1)])
