@@ -44,6 +44,7 @@ from repro.perf.report import (
     human_seconds,
     mode_trace_summary,
     superstep_timeline,
+    wear_rows,
 )
 
 ALL_SYSTEMS = list(GRAFBOOST_FAMILY) + list(BASELINE_SYSTEMS)
@@ -135,7 +136,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "e.g. t0:pagerank:iters=2, "
                             "t1:neighborhood:v=5,depth=2, "
                             "t0:path:src=0,dst=9, "
-                            "t1:vstate:ref=svc-1,v=0+3 (repeatable)")
+                            "t1:vstate:ref=svc-1,v=0+3 (repeatable); "
+                            "deadline=N expires a job N rounds after "
+                            "arrival, retries=N caps its retry budget, and "
+                            "tenant:cancel:ref=svc-1@round tears a job down")
     serve.add_argument("--demo", action="store_true",
                        help="submit the built-in two-tenant demo workload "
                             "(2 analytics runs, 6 point queries, 1 rejected "
@@ -287,6 +291,8 @@ def cmd_run(args) -> int:
             ["torn writes", f"{cell.torn_writes:,}"],
             ["remounts", f"{cell.remounts:,}"],
         ]
+    rows += [[name, value] for name, value
+             in wear_rows(cell.wear, cell.lifetime_writes_remaining)]
     print(format_table(["metric", "value"], rows))
     return 0
 
@@ -334,11 +340,23 @@ def cmd_serve(args) -> int:
         ["simulated time", human_seconds(cell.elapsed_s)],
         ["flash traffic", human_bytes(cell.flash_bytes)],
     ]
+    if cell.jobs_quarantined:
+        rows.append(["jobs quarantined", cell.jobs_quarantined])
+    if cell.jobs_cancelled:
+        rows.append(["jobs cancelled", cell.jobs_cancelled])
+    if cell.retries:
+        rows.append(["job retries", cell.retries])
+    if cell.failures:
+        rows.append(["flash failures", cell.failures])
+    if cell.degraded_rejections:
+        rows.append(["degraded rejections", cell.degraded_rejections])
     if args.crashes is not None:
         rows += [
             ["power losses", f"{cell.power_losses:,}"],
             ["remounts", f"{cell.remounts:,}"],
         ]
+    rows += [[name, value] for name, value
+             in wear_rows(cell.wear, cell.lifetime_writes_remaining)]
     print(format_table(["metric", "value"], rows))
     return 0
 

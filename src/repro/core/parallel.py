@@ -336,7 +336,14 @@ class SortReducePool:
     # --------------------------------------------------------------- lifecycle
 
     def shutdown(self, join_timeout_s: float = 5.0) -> None:
-        """Stop the workers and free any unclaimed result buffers."""
+        """Stop the workers and free any unclaimed result buffers.
+
+        Escalates until every worker is actually gone: cooperative sentinel
+        → ``terminate()`` (SIGTERM) → ``kill()`` (SIGKILL), re-joining after
+        each signal.  A worker stuck in uninterruptible state must not leak
+        past shutdown — a long-lived serving process would otherwise
+        accumulate zombie workers across pool generations.
+        """
         if self.closed:
             return
         self.closed = True
@@ -345,8 +352,15 @@ class SortReducePool:
         deadline = time.monotonic() + join_timeout_s
         for p in self._procs:
             p.join(timeout=max(0.1, deadline - time.monotonic()))
+        survivors = [p for p in self._procs if p.is_alive()]
+        for p in survivors:
+            p.terminate()
+        for p in survivors:
+            p.join(timeout=1.0)
+        for p in survivors:
             if p.is_alive():
-                p.terminate()
+                p.kill()
+                p.join(timeout=5.0)
         while True:
             try:
                 ticket, name, n, dtype_str, _error = self._results.get_nowait()

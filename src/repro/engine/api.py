@@ -44,6 +44,10 @@ class VertexProgram:
     default_value: object = 0
     #: Whether edge_program consumes edge weights.
     uses_weights = False
+    #: Job-scope label applied by :meth:`namespaced` ("" until then).  Failure
+    #: records and the service's flash-state purge use it to attribute a
+    #: namespaced run back to its owning job.
+    namespace: str = ""
 
     # ------------------------------------------------------------ the program
 
@@ -118,6 +122,7 @@ class VertexProgram:
         if not label or any(c in label for c in ":/ "):
             raise ValueError(f"bad namespace label {label!r}")
         self.name = f"{self.name}@{label}"
+        self.namespace = label
         return self
 
     # ---------------------------------------------------------------- limits

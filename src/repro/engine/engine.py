@@ -294,6 +294,37 @@ class GraFBoostEngine:
             if self.store.exists(name):
                 self.store.delete(name)
 
+    # --------------------------------------------------------- state teardown
+
+    def _purge(self, program_name: str, vertex_prefix: str | None) -> None:
+        """Delete *every* file a run of ``program_name`` owns on flash:
+        sort-reduce run files, vertex base/overlay files, and this engine's
+        checkpoint pair.  Only engine-owned prefixes are touched — graph
+        files and other jobs' state are left alone."""
+        prefixes = [f"{program_name}-s"]
+        if vertex_prefix:
+            prefixes.append(vertex_prefix + ":")
+        for name in list(self.store.list_files()):
+            if any(name.startswith(p) for p in prefixes):
+                self.store.delete(name)
+        for name in (f"{self.checkpoint_prefix}:staging", self._checkpoint_file):
+            if self.store.exists(name):
+                self.store.delete(name)
+        self._retired = []
+
+    def purge_program_state(self, program: VertexProgram) -> None:
+        """Reclaim a dead run's flash state when no live :class:`EngineRun`
+        exists (after a crash, or once a failed run was abandoned).
+
+        The checkpoint — if one survives — names the run's vertex-data
+        prefix, so the purge reaches files whose names are not derivable
+        from the program alone.  This is the quarantine hook the service
+        layer sweeps failed jobs through.
+        """
+        state = self._load_checkpoint(program)
+        vertex_prefix = state["vertices"]["prefix"] if state else None
+        self._purge(program.name, vertex_prefix)
+
 
 class EngineRun:
     """One in-flight vertex-program run, advanced superstep by superstep.
@@ -391,6 +422,9 @@ class EngineRun:
                 self.prev_chunks, self.superstep)
         except FlashError as e:
             e.add_note(f"while running {program.name} superstep {self.superstep}")
+            # Structured context for failure records: which run, where.
+            e.superstep = self.superstep
+            e.algorithm = program.name
             raise
         if self.prev_run is not None:
             engine._discard_run(self.prev_run)
@@ -424,6 +458,35 @@ class EngineRun:
             self.done = True
             return False
         return True
+
+    def abandon(self) -> None:
+        """Tear down a *failed* run but keep its last sealed checkpoint.
+
+        A retry rebuilt with ``auto_resume=True`` continues from that
+        checkpoint; everything the dead attempt wrote after it — overlay
+        files, run files, the staging checkpoint — is swept through the
+        same orphan logic crash recovery uses.  With no checkpoint on flash
+        the attempt's whole footprint is purged (the retry restarts from
+        scratch, which is what resuming "from the last sealed checkpoint"
+        means when none was ever sealed).
+        """
+        self.done = True
+        self._finished = True
+        engine = self.engine
+        state = engine._load_checkpoint(self.program)
+        if state is not None:
+            engine._sweep_orphans(self.program, state)
+            engine._retired = []
+        else:
+            engine._purge(self.program.name, self.vertices.prefix)
+
+    def cancel(self) -> None:
+        """Abort an in-flight run and reclaim every file it owns on flash —
+        checkpoint included.  Unlike :meth:`abandon` nothing survives: this
+        is the cancellation/quarantine teardown, not a retry boundary."""
+        self.done = True
+        self._finished = True
+        self.engine._purge(self.program.name, self.vertices.prefix)
 
     def finish(self) -> RunResult:
         """Final apply pass, checkpoint cleanup, and elapsed accounting."""

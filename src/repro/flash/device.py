@@ -93,6 +93,18 @@ class FlashOutOfSpaceError(FlashError):
     distinguish "device is full" from device logic errors."""
 
 
+class FlashRecoveryExhaustedError(FlashError):
+    """Crash recovery made no forward progress: the remount retry loop hit
+    its give-up bound.  Raised by the crash harness and the service
+    scheduler instead of a bare ``RuntimeError`` so callers can react inside
+    the taxonomy; carries the exhausted :class:`~repro.flash.faults.CrashPlan`
+    for diagnosis."""
+
+    def __init__(self, message: str, plan=None):
+        super().__init__(message)
+        self.plan = plan
+
+
 class PowerLossError(BaseException):
     """Simulated whole-system power loss at a flash operation boundary.
 

@@ -609,3 +609,24 @@ def _repair_page(reread, index: int, expected_crc: int,
     raise FlashUncorrectableError(
         f"persistent checksum mismatch on {label} page {index} after "
         f"{retries} re-reads")
+
+
+def error_context(exc: BaseException) -> dict:
+    """JSON-safe flash-op context of a taxonomy error.
+
+    Collects whatever structured attributes the raising layer attached —
+    device-level block/page addresses, the power-loss op index, the engine's
+    superstep and (namespaced) algorithm name — into a plain dict for
+    durable failure records (:class:`repro.service.jobs.JobFailure`).
+    Absent attributes are simply omitted, so the helper is total over the
+    whole taxonomy.
+    """
+    context: dict = {}
+    for attr in ("block", "page", "op_index", "superstep", "algorithm"):
+        value = getattr(exc, attr, None)
+        if value is not None:
+            context[attr] = value
+    notes = getattr(exc, "__notes__", None)
+    if notes:
+        context["notes"] = [str(n) for n in notes]
+    return context

@@ -39,7 +39,8 @@ from repro.baselines import (
 from repro.baselines.base import DNF_CUTOFF_UNLIMITED
 from repro.baselines.semiexternal import VERTEX_ID_SPACE
 from repro.engine.config import make_system
-from repro.flash.device import PowerLossError
+from repro.flash.device import FlashRecoveryExhaustedError, PowerLossError
+from repro.flash.wear import WearReport, lifetime_writes_remaining
 from repro.graph.csr import CSRGraph
 from repro.graph.datasets import DEFAULT_SCALE, build_graph, dataset_by_name
 from repro.perf.profiles import (
@@ -193,6 +194,10 @@ class WorkloadResult:
     # renders.  Carried on the result so the timeline path goes through the
     # same fault/crash/sanitize wiring as every other cell.
     superstep_metrics: list | None = None
+    # Device wear at the end of the run (GraFBoost-family stacks only —
+    # baseline strategy models have no simulated device to wear out).
+    wear: WearReport | None = None
+    lifetime_writes_remaining: float = 1.0
 
     @property
     def time_or_nan(self) -> float:
@@ -293,7 +298,10 @@ def run_grafboost_system(kind: str, graph: CSRGraph, algorithm: str,
 
 
 def _attach_injection_stats(workload: WorkloadResult, system) -> None:
-    """Copy fault/crash injector counters onto a finished result."""
+    """Copy fault/crash injector counters and wear onto a finished result."""
+    workload.wear = WearReport.from_device(system.device)
+    workload.lifetime_writes_remaining = lifetime_writes_remaining(
+        system.device)
     injector = system.device.faults
     if injector is not None:
         stats = injector.stats
@@ -350,9 +358,10 @@ def run_with_crashes(kind: str, graph: CSRGraph, algorithm: str,
         while True:
             remounts += 1
             if remounts > max_remounts:
-                raise RuntimeError(
+                raise FlashRecoveryExhaustedError(
                     f"gave up after {max_remounts} remounts; crash plan or "
-                    f"checkpoint cadence leaves no forward progress")
+                    f"checkpoint cadence leaves no forward progress",
+                    plan=crashes)
             try:
                 system.remount()
                 return
@@ -519,6 +528,15 @@ class ServiceCellResult:
     flash_bytes: int
     trace: list[str]
     jobs: list
+    # Failure-domain outcome counters (all zero on a fault-free run).
+    jobs_quarantined: int = 0
+    jobs_cancelled: int = 0
+    retries: int = 0
+    failures: int = 0
+    degraded_rejections: int = 0
+    # Device wear at the end of the cell.
+    wear: WearReport | None = None
+    lifetime_writes_remaining: float = 1.0
 
 
 def run_service_cell(kind: str, graph: CSRGraph, jobs: list,
@@ -591,6 +609,13 @@ def run_service_cell(kind: str, graph: CSRGraph, jobs: list,
         flash_bytes=system.clock.bytes_moved("flash"),
         trace=report.trace,
         jobs=report.jobs,
+        jobs_quarantined=report.quarantined,
+        jobs_cancelled=report.cancelled,
+        retries=report.retries,
+        failures=report.failures,
+        degraded_rejections=report.degraded_rejections,
+        wear=report.wear,
+        lifetime_writes_remaining=report.lifetime_writes_remaining,
     )
 
 

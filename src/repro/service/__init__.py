@@ -3,14 +3,16 @@
 The paper's pitch is one cheap flash-backed node serving analytics that
 would otherwise need a cluster; this package is the serving layer that
 pitch implies.  See :mod:`repro.service.scheduler` for the round-based
-deterministic scheduler, :mod:`repro.service.admission` for quotas and
-bandwidth reservations, and :mod:`repro.service.queries` for batched point
-queries.
+deterministic scheduler and its per-job failure domains,
+:mod:`repro.service.admission` for quotas, bandwidth reservations and
+wear-aware degraded mode, and :mod:`repro.service.queries` for batched
+point queries.
 """
 
 from repro.service.admission import (
     ADMITTED,
     ANALYTICS_BW_FRACTION,
+    DEGRADED_DECISION,
     QUEUED_DECISION,
     REJECTED_DECISION,
     AdmissionController,
@@ -18,15 +20,22 @@ from repro.service.admission import (
 )
 from repro.service.jobs import (
     ANALYTICS_KINDS,
+    CANCELLED,
+    CONTROL_KINDS,
     JOB_KINDS,
     POINT_KINDS,
+    QUARANTINED,
+    RETRYING,
+    TERMINAL_STATES,
     Job,
+    JobFailure,
     JobSpec,
     parse_job_spec,
 )
 from repro.service.queries import run_point_batch
 from repro.service.scheduler import (
     GraphService,
+    PoisonSpec,
     ServiceConfig,
     ServiceReport,
     demo_quotas,
@@ -38,15 +47,23 @@ __all__ = [
     "ANALYTICS_BW_FRACTION",
     "ANALYTICS_KINDS",
     "AdmissionController",
+    "CANCELLED",
+    "CONTROL_KINDS",
+    "DEGRADED_DECISION",
     "GraphService",
     "JOB_KINDS",
     "Job",
+    "JobFailure",
     "JobSpec",
     "POINT_KINDS",
+    "PoisonSpec",
+    "QUARANTINED",
     "QUEUED_DECISION",
     "REJECTED_DECISION",
+    "RETRYING",
     "ServiceConfig",
     "ServiceReport",
+    "TERMINAL_STATES",
     "TenantQuota",
     "demo_quotas",
     "demo_workload",

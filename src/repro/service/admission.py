@@ -11,14 +11,27 @@ reserved against — they are batched into shared passes (see
 but they do count against a per-tenant outstanding-query quota.
 
 Everything here is a pure function of (quota table, current reservations,
-spec); no clock reads, no randomness — the same inputs always produce the
-same decision, which is what makes scheduler traces bit-identical across
-worker counts and crash/resume.
+device wear, spec); no clock reads, no randomness — the same inputs always
+produce the same decision, which is what makes scheduler traces
+bit-identical across worker counts and crash/resume.
+
+Wear-aware degraded mode: the controller optionally consults a *wear probe*
+(``() -> (lifetime_writes_remaining, bad_block_count)``, see
+:mod:`repro.flash.wear`).  As the device degrades, the bandwidth capacity
+reservations are made against shrinks — fewer concurrent analytics runs fit
+— and submissions that would have queued are shed with an explicit
+``DEGRADED`` rejection instead of starving admitted work.  A critical
+device stops admitting analytics entirely.  Decisions are still journaled
+once at arrival and never recomputed, so recovery replays them verbatim
+even if wear crossed a threshold in between.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
+
+from repro.flash.wear import CRITICAL, DEGRADED, HEALTHY, DegradePolicy
 
 #: Fraction of device read bandwidth one analytics run reserves.  0.45 means
 #: two concurrent runs fit (0.9) and a third (1.35) saturates the channel —
@@ -29,6 +42,10 @@ ANALYTICS_BW_FRACTION = 0.45
 ADMITTED = "admitted"
 QUEUED_DECISION = "queued"
 REJECTED_DECISION = "rejected"
+#: Rejection because the device is degraded/critical, not because quotas or
+#: healthy-capacity limits were hit — tenants can tell device trouble apart
+#: from their own oversubscription.
+DEGRADED_DECISION = "degraded"
 
 
 @dataclass(frozen=True)
@@ -65,13 +82,20 @@ class AdmissionController:
     """
 
     def __init__(self, flash_read_bw: float,
-                 quotas: dict[str, TenantQuota] | None = None):
+                 quotas: dict[str, TenantQuota] | None = None,
+                 wear_probe: Callable[[], tuple[float, int]] | None = None,
+                 degrade: DegradePolicy | None = None):
         self.capacity = float(flash_read_bw)
         self.reservation = ANALYTICS_BW_FRACTION * self.capacity
         self.quotas = dict(quotas or {})
         self.usage: dict[str, TenantUsage] = {}
         self.reserved = 0.0
         self.rejections = 0
+        self.degraded_rejections = 0
+        #: ``() -> (lifetime_writes_remaining, bad_block_count)``; None means
+        #: the device is always treated as healthy (the pre-wear behaviour).
+        self.wear_probe = wear_probe
+        self.degrade = degrade or DegradePolicy()
 
     def quota_for(self, tenant: str) -> TenantQuota:
         return self.quotas.get(tenant, DEFAULT_QUOTA)
@@ -79,14 +103,39 @@ class AdmissionController:
     def _usage(self, tenant: str) -> TenantUsage:
         return self.usage.setdefault(tenant, TenantUsage())
 
+    # ------------------------------------------------------------------ wear
+
+    def wear_level(self) -> str:
+        """Current device health level (healthy / degraded / critical)."""
+        if self.wear_probe is None:
+            return HEALTHY
+        lifetime_remaining, bad_blocks = self.wear_probe()
+        return self.degrade.classify(lifetime_remaining, bad_blocks)
+
+    def effective_capacity(self, level: str | None = None) -> float:
+        """Bandwidth capacity reservations are made against, derated by
+        device health: degraded shrinks it, critical zeroes it."""
+        level = self.wear_level() if level is None else level
+        if level == CRITICAL:
+            return 0.0
+        if level == DEGRADED:
+            return self.capacity * self.degrade.degraded_capacity_fraction
+        return self.capacity
+
     # ------------------------------------------------------------- decisions
 
     def decide_analytics(self, tenant: str) -> str:
         """Admission decision for one analytics submission (no side effect)."""
         quota, use = self.quota_for(tenant), self._usage(tenant)
-        fits_bw = self.reserved + self.reservation <= self.capacity
-        if fits_bw and use.running < quota.max_running:
+        level = self.wear_level()
+        fits_bw = (self.reserved + self.reservation
+                   <= self.effective_capacity(level))
+        if level != CRITICAL and fits_bw and use.running < quota.max_running:
             return ADMITTED
+        if level != HEALTHY:
+            # Degraded mode sheds load instead of queueing it: a queue the
+            # device can no longer drain would just starve its tenants.
+            return DEGRADED_DECISION
         if use.queued < quota.max_queued:
             return QUEUED_DECISION
         return REJECTED_DECISION
@@ -108,6 +157,8 @@ class AdmissionController:
             self._usage(tenant).queued += 1
         else:
             self.rejections += 1
+            if decision == DEGRADED_DECISION:
+                self.degraded_rejections += 1
         return decision
 
     def admit_point(self, tenant: str) -> str:
@@ -135,14 +186,40 @@ class AdmissionController:
         """Try to move one queued run of ``tenant`` into execution."""
         quota, use = self.quota_for(tenant), self._usage(tenant)
         if (use.queued > 0 and use.running < quota.max_running
-                and self.reserved + self.reservation <= self.capacity):
+                and self.reserved + self.reservation
+                <= self.effective_capacity()):
             use.queued -= 1
             self.acquire(tenant)
             return True
         return False
 
+    def resume_retry(self, tenant: str) -> bool:
+        """Try to re-admit a RETRYING job whose backoff expired.
+
+        Like :meth:`promote` but without queue accounting — a retrying job
+        released its reservation at failure and holds no queue slot while it
+        backs off.
+        """
+        quota, use = self.quota_for(tenant), self._usage(tenant)
+        if (use.running < quota.max_running
+                and self.reserved + self.reservation
+                <= self.effective_capacity()):
+            self.acquire(tenant)
+            return True
+        return False
+
+    def release_queued(self, tenant: str) -> None:
+        """Return a queue slot (cancellation, deadline expiry, load shed)."""
+        self._usage(tenant).queued -= 1
+
     def release_point(self, tenant: str) -> None:
         self._usage(tenant).point -= 1
+
+    def shed_queued(self, tenant: str) -> None:
+        """Degraded mode: convert one queued run into a DEGRADED rejection."""
+        self.release_queued(tenant)
+        self.rejections += 1
+        self.degraded_rejections += 1
 
     # ------------------------------------------------------------- recovery
 
@@ -154,9 +231,11 @@ class AdmissionController:
         """Re-account a journaled outstanding point query during recovery."""
         self._usage(tenant).point += 1
 
-    def note_rejection(self) -> None:
+    def note_rejection(self, degraded: bool = False) -> None:
         """Re-account a journaled rejection during recovery."""
         self.rejections += 1
+        if degraded:
+            self.degraded_rejections += 1
 
     def utilization(self) -> float:
         """Reserved fraction of device read bandwidth (for reports)."""

@@ -23,16 +23,22 @@ from dataclasses import dataclass, field
 
 ANALYTICS_KINDS = ("pagerank", "bfs", "cc")
 POINT_KINDS = ("neighborhood", "path", "vstate")
-JOB_KINDS = ANALYTICS_KINDS + POINT_KINDS
+#: Control operations: processed at arrival, never scheduled.  ``cancel``
+#: takes ``ref=<job-id>`` and tears down that job (same tenant only).
+CONTROL_KINDS = ("cancel",)
+JOB_KINDS = ANALYTICS_KINDS + POINT_KINDS + CONTROL_KINDS
 
 #: Terminal and non-terminal job states.
 QUEUED = "queued"          # admitted to the system but waiting for bandwidth
 RUNNING = "running"        # analytics job with an in-flight engine run
 PENDING = "pending"        # point query waiting for its batch (or dependency)
+RETRYING = "retrying"      # failed analytics job in deterministic backoff
 DONE = "done"
 REJECTED = "rejected"      # admission control refused the submission
-FAILED = "failed"          # dependency missing/failed (vstate on a dead ref)
-TERMINAL_STATES = (DONE, REJECTED, FAILED)
+FAILED = "failed"          # dependency missing/failed, or retries exhausted
+QUARANTINED = "quarantined"  # poison job: flash state swept, quota released
+CANCELLED = "cancelled"    # torn down by a tenant's cancel control op
+TERMINAL_STATES = (DONE, REJECTED, FAILED, QUARANTINED, CANCELLED)
 
 #: BFS depth cap for ``path`` queries without an explicit ``cap`` param.
 DEFAULT_PATH_CAP = 64
@@ -40,12 +46,16 @@ DEFAULT_PATH_CAP = 64
 
 @dataclass(frozen=True)
 class JobSpec:
-    """One submission: who wants what, and when it arrives."""
+    """One submission: who wants what, when it arrives, and its deadline."""
 
     tenant: str
     kind: str
     params: dict = field(default_factory=dict)
     at_round: int = 0
+    #: Rounds after arrival before the job is expired (0 = no deadline).
+    #: Analytics jobs past their deadline are quarantined (flash state
+    #: swept, quota released); point queries simply fail.
+    deadline_rounds: int = 0
 
     def __post_init__(self):
         if self.kind not in JOB_KINDS:
@@ -55,20 +65,29 @@ class JobSpec:
             raise ValueError(f"bad tenant name {self.tenant!r}")
         if self.at_round < 0:
             raise ValueError(f"at_round must be >= 0, got {self.at_round}")
+        if self.deadline_rounds < 0:
+            raise ValueError(
+                f"deadline_rounds must be >= 0, got {self.deadline_rounds}")
 
     @property
     def is_analytics(self) -> bool:
         return self.kind in ANALYTICS_KINDS
 
+    @property
+    def is_control(self) -> bool:
+        return self.kind in CONTROL_KINDS
+
     def to_dict(self) -> dict:
         return {"tenant": self.tenant, "kind": self.kind,
-                "params": dict(self.params), "at_round": self.at_round}
+                "params": dict(self.params), "at_round": self.at_round,
+                "deadline_rounds": self.deadline_rounds}
 
     @staticmethod
     def from_dict(d: dict) -> "JobSpec":
         return JobSpec(tenant=d["tenant"], kind=d["kind"],
                        params=dict(d.get("params", {})),
-                       at_round=int(d.get("at_round", 0)))
+                       at_round=int(d.get("at_round", 0)),
+                       deadline_rounds=int(d.get("deadline_rounds", 0)))
 
 
 def parse_job_spec(text: str) -> JobSpec:
@@ -92,7 +111,12 @@ def parse_job_spec(text: str) -> JobSpec:
             if not sep:
                 raise ValueError(f"bad param {pair!r} in job spec {text!r}")
             params[k.strip()] = _parse_param(v.strip())
-    return JobSpec(tenant=tenant, kind=kind, params=params, at_round=at_round)
+    deadline = params.pop("deadline", 0)
+    if not isinstance(deadline, int):
+        raise ValueError(f"deadline must be an integer round count, "
+                         f"got {deadline!r} in job spec {text!r}")
+    return JobSpec(tenant=tenant, kind=kind, params=params, at_round=at_round,
+                   deadline_rounds=deadline)
 
 
 def _parse_param(value: str):
@@ -109,6 +133,36 @@ def _parse_scalar(value: str):
         return value
 
 
+@dataclass(frozen=True)
+class JobFailure:
+    """One failed attempt of a job: the typed flash error plus its context.
+
+    Journaled durably on the job record, so failure history survives power
+    loss exactly like every other scheduler decision.  ``error`` is the
+    taxonomy class name (``FlashUncorrectableError``, ...), ``context`` the
+    structured flash-op attributes :func:`repro.flash.faults.error_context`
+    collected (block/page addresses, superstep, namespaced algorithm).
+    """
+
+    error: str
+    message: str
+    superstep: int
+    attempt: int
+    context: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"error": self.error, "message": self.message,
+                "superstep": self.superstep, "attempt": self.attempt,
+                "context": dict(self.context)}
+
+    @staticmethod
+    def from_dict(d: dict) -> "JobFailure":
+        return JobFailure(error=d["error"], message=d.get("message", ""),
+                          superstep=int(d.get("superstep", -1)),
+                          attempt=int(d.get("attempt", 0)),
+                          context=dict(d.get("context", {})))
+
+
 @dataclass
 class Job:
     """Scheduler-side record of one submission; journaled as a dict.
@@ -121,29 +175,48 @@ class Job:
     job_id: str
     spec: JobSpec
     state: str = PENDING
-    #: Initial admission decision ("admitted" | "queued" | "rejected") —
-    #: recorded once at arrival and never recomputed, part of the trace.
+    #: Initial admission decision ("admitted" | "queued" | "rejected" |
+    #: "degraded") — recorded once at arrival and never recomputed, part of
+    #: the trace.
     admission: str = ""
     #: Result summary of a finished job (small, JSON-safe): per-kind fields
     #: plus a crc32 checksum of the full payload for determinism checks.
     result: dict = field(default_factory=dict)
-    #: Why a job was rejected/failed.
+    #: Why a job was rejected/failed/quarantined/cancelled.
     reason: str = ""
+    #: Completed retry count (attempts beyond the first).
+    retries: int = 0
+    #: Earliest round a RETRYING job may resume (exponential backoff; a pure
+    #: function of journaled state, so it replays identically after a crash).
+    retry_round: int = 0
+    #: Failure history: one :meth:`JobFailure.to_dict` entry per failed
+    #: attempt, newest last.
+    failures: list = field(default_factory=list)
 
     @property
     def is_analytics(self) -> bool:
         return self.spec.is_analytics
 
+    def retry_limit(self, default: int) -> int:
+        """Per-job retry budget: the ``retries=N`` spec param, else the
+        service default."""
+        return int(self.spec.params.get("retries", default))
+
     def to_dict(self) -> dict:
         return {"job_id": self.job_id, "spec": self.spec.to_dict(),
                 "state": self.state, "admission": self.admission,
-                "result": self.result, "reason": self.reason}
+                "result": self.result, "reason": self.reason,
+                "retries": self.retries, "retry_round": self.retry_round,
+                "failures": list(self.failures)}
 
     @staticmethod
     def from_dict(d: dict) -> "Job":
         return Job(job_id=d["job_id"], spec=JobSpec.from_dict(d["spec"]),
                    state=d["state"], admission=d["admission"],
-                   result=dict(d["result"]), reason=d.get("reason", ""))
+                   result=dict(d["result"]), reason=d.get("reason", ""),
+                   retries=int(d.get("retries", 0)),
+                   retry_round=int(d.get("retry_round", 0)),
+                   failures=list(d.get("failures", [])))
 
 
 def make_program(spec: JobSpec, num_vertices: int, default_root: int):

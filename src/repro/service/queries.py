@@ -87,9 +87,21 @@ def run_point_batch(graph, backend, clock, queries: list[tuple[str, str, dict]],
     ``queries`` is a list of ``(job_id, kind, params)``; returns a JSON-safe
     result dict per job id.  All flash reads and the per-level sort-reduce
     charge are shared across the batch.
+
+    Invalid queries (out-of-range vertex, missing param) are a *per-query*
+    failure domain: the offending job gets an ``{"error": ...}`` result and
+    the rest of the batch proceeds untouched — one tenant's bad input must
+    never take down another tenant's round.
     """
-    states = [_make_state(job_id, kind, params, graph.num_vertices)
-              for job_id, kind, params in queries]
+    states = []
+    errors: dict[str, dict] = {}
+    for job_id, kind, params in queries:
+        try:
+            states.append(_make_state(job_id, kind, params,
+                                      graph.num_vertices))
+        except (ValueError, KeyError, TypeError) as exc:
+            errors[job_id] = {"kind": kind,
+                              "error": f"{type(exc).__name__}: {exc}"}
     while True:
         live = [s for s in states if not s.done and len(s.frontier)
                 and s.levels_left > 0]
@@ -105,7 +117,9 @@ def run_point_batch(graph, backend, clock, queries: list[tuple[str, str, dict]],
         backend.charge_chunk_sort(clock, max(1, len(dsts)) * RECORD_BYTES)
         for state in live:
             _advance(state, union, dsts, base, lengths)
-    return {s.job_id: _finish(s) for s in states}
+    results = {s.job_id: _finish(s) for s in states}
+    results.update(errors)
+    return results
 
 
 def _advance(state: _QueryState, union: np.ndarray, dsts: np.ndarray,

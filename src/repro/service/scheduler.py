@@ -33,6 +33,24 @@ recovery time), reloads the journal, rebuilds the admission ledger from the
 journaled job states, and re-creates engines with ``auto_resume=True`` so
 each interrupted run continues from its own checkpoint namespace
 (``svc:<job-id>:ckpt``).
+
+**Failure domains.**  A :class:`FlashError` raised inside one job's
+superstep (uncorrectable ECC, out-of-space, bad-block exhaustion) is *that
+job's* failure, never the service's: the scheduler records a typed
+:class:`~repro.service.jobs.JobFailure` on the job (journaled durably),
+abandons the dead attempt back to its last sealed checkpoint, releases the
+bandwidth reservation, and every other job's round proceeds exactly as if
+the failed job had completed its reservation early.  Failed analytics jobs
+retry up to their budget with exponential backoff — backoff rounds are a
+pure function of journaled state (retry count), and the backoff *time* is
+charged to the sim clock — resuming from the last checkpoint.  Jobs that
+exhaust retries or outlive their ``deadline_rounds`` are *quarantined*:
+their whole flash footprint (checkpoint included) is swept through the
+engine's purge path, their quota is released, and a tombstone stays in the
+journal.  A tenant can also tear a job down explicitly with a ``cancel``
+control op.  :class:`PowerLossError` deliberately stays outside all of this
+— power loss kills the whole host, not one job, and only the recovery loop
+above may observe it.
 """
 
 from __future__ import annotations
@@ -42,22 +60,42 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.flash.device import PowerLossError
+from repro.flash.device import (
+    FlashError,
+    FlashOutOfSpaceError,
+    FlashProgramError,
+    FlashRecoveryExhaustedError,
+    FlashUncorrectableError,
+    FlashWearOutError,
+    PowerLossError,
+)
+from repro.flash.faults import error_context
+from repro.flash.wear import (
+    HEALTHY,
+    DegradePolicy,
+    WearReport,
+    lifetime_writes_remaining,
+)
 from repro.service.admission import (
     ADMITTED,
+    DEGRADED_DECISION,
     QUEUED_DECISION,
     AdmissionController,
     TenantQuota,
 )
 from repro.service.jobs import (
+    CANCELLED,
     DONE,
     FAILED,
     PENDING,
+    QUARANTINED,
     QUEUED,
     REJECTED,
+    RETRYING,
     RUNNING,
     TERMINAL_STATES,
     Job,
+    JobFailure,
     JobSpec,
     make_program,
     parse_job_spec,
@@ -66,6 +104,34 @@ from repro.service.queries import checksum, read_vstate, run_point_batch
 
 JOURNAL_FILE = "svc:jobs"
 JOURNAL_VERSION = 1
+
+
+@dataclass(frozen=True)
+class PoisonSpec:
+    """Deterministic per-job fault injection (tests and the chaos bench).
+
+    Raises a typed :class:`FlashError` when the job is about to execute
+    ``superstep``, on its first ``attempts`` attempts.  The trigger is a
+    pure function of journaled state — the run's resume superstep and the
+    job's journaled retry count — so it fires at exactly the same logical
+    point across ``--workers``, ``--mode`` and arbitrary crash schedules.
+    (Device-level BER injection cannot make that promise: its RNG advances
+    with every re-executed flash op.)
+    """
+
+    superstep: int = 1
+    attempts: int = 1
+    #: One of "uncorrectable" | "program" | "oos" | "wearout".
+    error: str = "uncorrectable"
+
+
+#: Map a PoisonSpec.error name onto the taxonomy class it raises.
+_POISON_ERRORS = {
+    "uncorrectable": FlashUncorrectableError,
+    "program": FlashProgramError,
+    "oos": FlashOutOfSpaceError,
+    "wearout": FlashWearOutError,
+}
 
 
 @dataclass
@@ -79,6 +145,22 @@ class ServiceConfig:
     max_rounds: int = 100_000
     #: Give-up bound for the remount retry loop under crash injection.
     max_remounts: int = 10_000
+    #: Default retry budget for failed analytics jobs (per-job override via
+    #: the ``retries=N`` spec param).
+    max_retries: int = 2
+    #: Base backoff in scheduler rounds; attempt ``k`` waits
+    #: ``retry_backoff_rounds << k`` rounds before re-admission.
+    retry_backoff_rounds: int = 1
+    #: Simulated seconds charged to the shared clock per failed attempt
+    #: (scaled ``<< attempt``) — backoff costs real simulated time.
+    retry_backoff_s: float = 0.05
+    #: Rated program/erase cycles for the wear probe
+    #: (:func:`repro.flash.wear.lifetime_writes_remaining`).
+    rated_pe_cycles: int = 3000
+    #: Wear thresholds for degraded-mode admission.
+    degrade: DegradePolicy = field(default_factory=DegradePolicy)
+    #: Deterministic per-job fault injection: job id -> PoisonSpec.
+    poison: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -91,6 +173,15 @@ class ServiceReport:
     remounts: int
     power_losses: int
     rejections: int
+    #: Failure-domain counters (all zero on a healthy, fault-free run).
+    failures: int = 0
+    retries: int = 0
+    quarantined: int = 0
+    cancelled: int = 0
+    degraded_rejections: int = 0
+    #: Device wear at the end of the run (see :mod:`repro.flash.wear`).
+    wear: WearReport | None = None
+    lifetime_writes_remaining: float = 1.0
 
     def jobs_by_state(self, state: str) -> list:
         return [j for j in self.jobs if j.state == state]
@@ -110,7 +201,9 @@ class GraphService:
         self.default_root = default_root
         self._quotas = dict(quotas or {})
         self.controller = AdmissionController(system.profile.flash_read_bw,
-                                              self._quotas)
+                                              self._quotas,
+                                              wear_probe=self._wear_probe,
+                                              degrade=self.config.degrade)
         #: (job_id, spec) in submission order — the workload definition.
         #: Journaled alongside the job table so future arrivals replay
         #: identically after a crash.
@@ -120,6 +213,12 @@ class GraphService:
         self.remounts = 0
         self._engines: dict = {}
         self._next_id = 1
+
+    def _wear_probe(self) -> tuple[float, int]:
+        """Live device health for degraded-mode admission decisions."""
+        device = self.system.device
+        return (lifetime_writes_remaining(device, self.config.rated_pe_cycles),
+                device.bad_block_count)
 
     # -------------------------------------------------------------- submission
 
@@ -158,14 +257,23 @@ class GraphService:
                     except PowerLossError:
                         continue
         crashes = self.system.device.crashes
+        jobs = [self.jobs[jid] for jid, _ in self.submissions
+                if jid in self.jobs]
         return ServiceReport(
-            jobs=[self.jobs[jid] for jid, _ in self.submissions
-                  if jid in self.jobs],
+            jobs=jobs,
             trace=self.trace(),
             rounds=self.round,
             remounts=self.remounts,
             power_losses=crashes.stats.power_losses if crashes else 0,
             rejections=self.controller.rejections,
+            failures=sum(len(j.failures) for j in jobs),
+            retries=sum(j.retries for j in jobs),
+            quarantined=sum(1 for j in jobs if j.state == QUARANTINED),
+            cancelled=sum(1 for j in jobs if j.state == CANCELLED),
+            degraded_rejections=self.controller.degraded_rejections,
+            wear=WearReport.from_device(self.system.device),
+            lifetime_writes_remaining=lifetime_writes_remaining(
+                self.system.device, self.config.rated_pe_cycles),
         )
 
     def _finished(self) -> bool:
@@ -184,20 +292,22 @@ class GraphService:
         for job_id, spec in self.submissions:
             if spec.at_round == r and job_id not in self.jobs:
                 self._arrive(job_id, spec)
-        # 2. One superstep per running analytics job, job-id order.
+        # 2. Deadlines are enforced before work: a job past its budget does
+        # not get another superstep it will only throw away.
+        self._expire_deadlines()
+        # 3. Retrying jobs whose backoff expired try to re-acquire bandwidth.
+        self._resume_retries()
+        # 4. One superstep per running analytics job, job-id order.
         for job_id, _ in self.submissions:
             job = self.jobs.get(job_id)
             if job is not None and job.state == RUNNING:
                 self._step_job(job)
-        # 3. Completions may have freed bandwidth: promote queued runs.
-        for job_id, _ in self.submissions:
-            job = self.jobs.get(job_id)
-            if (job is not None and job.state == QUEUED
-                    and self.controller.promote(job.spec.tenant)):
-                job.state = RUNNING
-        # 4. All outstanding point queries advance as one shared batch.
+        # 5. Completions/failures may have freed bandwidth: promote queued
+        # runs (or shed them, if the device has degraded under us).
+        self._promote()
+        # 6. All outstanding point queries advance as one shared batch.
         self._run_points()
-        # 5. Publish the new job table; this is the round's commit point.
+        # 7. Publish the new job table; this is the round's commit point.
         self.round = r + 1
         self._write_journal()
 
@@ -205,6 +315,13 @@ class GraphService:
 
     def _arrive(self, job_id: str, spec: JobSpec) -> None:
         job = Job(job_id=job_id, spec=spec)
+        if spec.is_control:
+            # Control ops hold no quota and never schedule: they act at
+            # arrival and finish in the same round.
+            job.admission = ADMITTED
+            self.jobs[job_id] = job
+            self._do_cancel(job)
+            return
         if spec.is_analytics:
             decision = self.controller.admit_analytics(spec.tenant)
             job.admission = decision
@@ -212,6 +329,9 @@ class GraphService:
                 job.state = RUNNING
             elif decision == QUEUED_DECISION:
                 job.state = QUEUED
+            elif decision == DEGRADED_DECISION:
+                job.state = REJECTED
+                job.reason = "device degraded: analytics admission shed"
             else:
                 job.state = REJECTED
                 job.reason = "flash bandwidth saturated and tenant queue full"
@@ -248,15 +368,22 @@ class GraphService:
         return run
 
     def _step_job(self, job: Job) -> None:
-        run = self._engines.get(job.job_id)
-        if run is None:
-            run = self._build_run(job)
-        if run.step():
+        try:
+            run = self._engines.get(job.job_id)
+            if run is None:
+                run = self._build_run(job)
+            self._maybe_poison(job, run)
+            if run.step():
+                return
+            result = run.finish()
+            self._engines.pop(job.job_id, None)
+            values = result.final_values()
+            values_file = self._write_values(job.job_id, values)
+        except FlashError as exc:
+            # This job's failure domain ends here: record it, tear down the
+            # attempt, and let every other job's round proceed untouched.
+            self._job_failed(job, exc)
             return
-        result = run.finish()
-        self._engines.pop(job.job_id, None)
-        values = result.final_values()
-        values_file = self._write_values(job.job_id, values)
         job.result = {
             "kind": job.spec.kind,
             "supersteps": result.num_supersteps,
@@ -268,6 +395,89 @@ class GraphService:
         }
         job.state = DONE
         self.controller.release(job.spec.tenant)
+
+    def _maybe_poison(self, job: Job, run) -> None:
+        """Fire the job's deterministic fault injection, if configured."""
+        spec = self.config.poison.get(job.job_id)
+        if spec is None:
+            return
+        if job.retries < spec.attempts and run.superstep == spec.superstep:
+            cls = _POISON_ERRORS[spec.error]
+            message = f"poisoned {spec.error} fault for {job.job_id}"
+            if cls in (FlashUncorrectableError, FlashProgramError):
+                exc = cls(message, block=0, page=0)
+            else:
+                exc = cls(message)
+            exc.superstep = run.superstep
+            exc.algorithm = run.program.name
+            raise exc
+
+    # ---------------------------------------------------------- failure domain
+
+    def _job_failed(self, job: Job, exc: FlashError) -> None:
+        """One job's flash error: journal it, abandon the attempt, back off.
+
+        The dead attempt is rolled back to its last sealed checkpoint (files
+        from the doomed superstep are swept; the checkpoint itself is kept
+        so the retry resumes rather than restarts) and the job's bandwidth
+        reservation is released for the duration of the backoff.
+        """
+        run = self._engines.pop(job.job_id, None)
+        superstep = getattr(exc, "superstep",
+                            run.superstep if run is not None else -1)
+        failure = JobFailure(error=type(exc).__name__, message=str(exc),
+                             superstep=superstep, attempt=job.retries,
+                             context=error_context(exc))
+        job.failures.append(failure.to_dict())
+        if run is not None:
+            run.abandon()
+        self.controller.release(job.spec.tenant)
+        limit = job.retry_limit(self.config.max_retries)
+        if job.retries >= limit:
+            self._quarantine(
+                job, f"retries exhausted after {job.retries + 1} attempts")
+            return
+        attempt = job.retries
+        job.retries += 1
+        # Exponential backoff, a pure function of the journaled retry count:
+        # the resume round replays identically after any crash, and the
+        # backoff cost is real simulated time on the shared clock.
+        job.retry_round = self.round + (self.config.retry_backoff_rounds
+                                        << attempt)
+        self.system.clock.charge(
+            "cpu", self.config.retry_backoff_s * (1 << attempt))
+        job.state = RETRYING
+
+    def _quarantine(self, job: Job, reason: str) -> None:
+        """Poison a job: sweep its whole flash footprint, leave a tombstone."""
+        self._purge_job_flash(job)
+        job.state = QUARANTINED
+        job.reason = reason
+
+    def _purge_job_flash(self, job: Job) -> None:
+        """Remove every flash file a job owns: run state, checkpoint, values.
+
+        Works with or without a live engine run — a quarantined RETRYING job
+        has no run, so its checkpoint namespace is purged through a
+        throwaway engine bound to the same prefix.
+        """
+        run = self._engines.pop(job.job_id, None)
+        if run is not None:
+            run.cancel()
+        elif job.is_analytics:
+            program, _ = make_program(job.spec, self.num_vertices,
+                                      self.default_root)
+            program.namespaced(job.job_id)
+            engine = self.system.engine_for(
+                self.graph, self.num_vertices,
+                checkpoint_every=self.config.checkpoint_every,
+                checkpoint_prefix=f"svc:{job.job_id}:ckpt")
+            engine.purge_program_state(program)
+        store = self.system.store
+        for name in (f"svc:{job.job_id}:values:staging",
+                     f"svc:{job.job_id}:values"):
+            if store.exists(name):
+                store.delete(name)
 
     def _write_values(self, job_id: str, values: np.ndarray) -> str:
         """Durably publish a finished job's vertex values.
@@ -286,6 +496,109 @@ class GraphService:
         store.rename(staging, final, overwrite=True)
         return final
 
+    # ------------------------------------------------------ cancel & deadlines
+
+    def _do_cancel(self, job: Job) -> None:
+        """Act on a ``cancel`` control op at its arrival round."""
+        ref = str(job.spec.params.get("ref", ""))
+        ref_spec = next((s for jid, s in self.submissions if jid == ref), None)
+        if ref_spec is None:
+            job.state = FAILED
+            job.reason = f"unknown ref job {ref!r}"
+            return
+        if ref_spec.tenant != job.spec.tenant:
+            job.state = FAILED
+            job.reason = (f"ref job {ref} belongs to tenant "
+                          f"{ref_spec.tenant!r}")
+            return
+        target = self.jobs.get(ref)
+        if target is None:
+            # Cancelling a job that has not arrived yet: leave a tombstone so
+            # the arrival loop skips it entirely.
+            self.jobs[ref] = Job(job_id=ref, spec=ref_spec, state=CANCELLED,
+                                 admission="cancelled",
+                                 reason=f"cancelled by {job.job_id} "
+                                        f"before arrival")
+            outcome = "cancelled"
+        elif target.state in TERMINAL_STATES:
+            outcome = "noop"
+        else:
+            self._cancel_job(target, f"cancelled by {job.job_id}")
+            outcome = "cancelled"
+        job.result = {"kind": "cancel", "ref": ref, "outcome": outcome}
+        job.state = DONE
+
+    def _cancel_job(self, target: Job, reason: str) -> None:
+        """Tear down a live job: release its quota, sweep its flash state."""
+        if target.is_analytics:
+            if target.state == RUNNING:
+                self.controller.release(target.spec.tenant)
+            elif target.state == QUEUED:
+                self.controller.release_queued(target.spec.tenant)
+            # RETRYING holds neither bandwidth nor a queue slot.
+            self._purge_job_flash(target)
+        elif target.state == PENDING:
+            self.controller.release_point(target.spec.tenant)
+        target.state = CANCELLED
+        target.reason = reason
+
+    def _expire_deadlines(self) -> None:
+        """Expire every non-terminal job past its ``deadline_rounds``.
+
+        Analytics jobs are quarantined (their partial flash state is dead
+        weight the service must reclaim); point queries simply fail.
+        """
+        for job_id, _ in self.submissions:
+            job = self.jobs.get(job_id)
+            if job is None or job.state in TERMINAL_STATES:
+                continue
+            d = job.spec.deadline_rounds
+            if not d or self.round - job.spec.at_round < d:
+                continue
+            reason = f"deadline of {d} rounds exceeded"
+            if job.is_analytics:
+                if job.state == RUNNING:
+                    self.controller.release(job.spec.tenant)
+                elif job.state == QUEUED:
+                    self.controller.release_queued(job.spec.tenant)
+                self._quarantine(job, reason)
+            else:
+                self.controller.release_point(job.spec.tenant)
+                job.state = FAILED
+                job.reason = reason
+
+    def _resume_retries(self) -> None:
+        """Re-admit RETRYING jobs whose backoff expired, job-id order."""
+        for job_id, _ in self.submissions:
+            job = self.jobs.get(job_id)
+            if (job is not None and job.state == RETRYING
+                    and self.round >= job.retry_round
+                    and self.controller.resume_retry(job.spec.tenant)):
+                # The engine run is rebuilt lazily in _step_job with
+                # auto_resume=True: the retry continues from the last sealed
+                # checkpoint, not from scratch.
+                job.state = RUNNING
+
+    def _promote(self) -> None:
+        """Move queued runs into execution — or shed them in degraded mode."""
+        level = self.controller.wear_level()
+        if level != HEALTHY:
+            # A queue the device can no longer drain only starves tenants:
+            # shed it with explicit DEGRADED rejections.
+            for job_id, _ in self.submissions:
+                job = self.jobs.get(job_id)
+                if job is not None and job.state == QUEUED:
+                    self.controller.shed_queued(job.spec.tenant)
+                    job.admission = DEGRADED_DECISION
+                    job.state = REJECTED
+                    job.reason = f"device {level}: queued load shed"
+            return
+        for job_id, _ in self.submissions:
+            job = self.jobs.get(job_id)
+            if (job is not None and job.state == QUEUED
+                    and self.controller.promote(job.spec.tenant)):
+                job.state = RUNNING
+
     # ------------------------------------------------------------ point queries
 
     def _run_points(self) -> None:
@@ -300,12 +613,37 @@ class GraphService:
                 self._try_vstate(job)
         if not batch:
             return
-        results = run_point_batch(self.graph, self.system.backend,
-                                  self.system.clock, batch)
+        try:
+            results = run_point_batch(self.graph, self.system.backend,
+                                      self.system.clock, batch)
+        except FlashError as exc:
+            # The shared batch pass died on flash: every member shares the
+            # failure, each against its own retry budget.
+            for job_id, _, _ in batch:
+                job = self.jobs[job_id]
+                failure = JobFailure(error=type(exc).__name__,
+                                     message=str(exc), superstep=-1,
+                                     attempt=job.retries,
+                                     context=error_context(exc))
+                job.failures.append(failure.to_dict())
+                if job.retries >= job.retry_limit(self.config.max_retries):
+                    job.state = FAILED
+                    job.reason = "retries exhausted in point batch"
+                    self.controller.release_point(job.spec.tenant)
+                else:
+                    job.retries += 1   # stays PENDING, rebatched next round
+            return
         for job_id, _, _ in batch:
             job = self.jobs[job_id]
-            job.result = results[job_id]
-            job.state = DONE
+            res = results[job_id]
+            if "error" in res:
+                # Per-query failure domain: one tenant's bad input fails only
+                # its own query, the rest of the batch completed above.
+                job.state = FAILED
+                job.reason = f"invalid query: {res['error']}"
+            else:
+                job.result = res
+                job.state = DONE
             self.controller.release_point(job.spec.tenant)
 
     def _try_vstate(self, job: Job) -> None:
@@ -360,9 +698,11 @@ class GraphService:
         while True:
             self.remounts += 1
             if self.remounts > self.config.max_remounts:
-                raise RuntimeError(
+                crashes = self.system.device.crashes
+                raise FlashRecoveryExhaustedError(
                     f"gave up after {self.config.max_remounts} remounts; "
-                    f"crash plan leaves the service no forward progress")
+                    f"crash plan leaves the service no forward progress",
+                    plan=crashes.plan if crashes is not None else None)
             try:
                 self.system.remount()
                 break
@@ -397,10 +737,11 @@ class GraphService:
         reservations, queue depths, outstanding queries) are re-derived.
         """
         self.controller = AdmissionController(
-            self.system.profile.flash_read_bw, self._quotas)
+            self.system.profile.flash_read_bw, self._quotas,
+            wear_probe=self._wear_probe, degrade=self.config.degrade)
         for job_id, _ in self.submissions:
             job = self.jobs.get(job_id)
-            if job is None:
+            if job is None or job.spec.is_control:
                 continue
             if job.is_analytics:
                 if job.state == RUNNING:
@@ -408,7 +749,9 @@ class GraphService:
                 elif job.state == QUEUED:
                     self.controller.note_queued(job.spec.tenant)
                 elif job.state == REJECTED:
-                    self.controller.note_rejection()
+                    self.controller.note_rejection(
+                        degraded=(job.admission == DEGRADED_DECISION))
+                # RETRYING / QUARANTINED / CANCELLED hold no reservations.
             else:
                 if job.state == PENDING:
                     self.controller.note_point(job.spec.tenant)
@@ -437,11 +780,17 @@ class GraphService:
                 continue
             parts = [job_id, f"tenant={spec.tenant}", f"kind={spec.kind}",
                      f"admission={job.admission}", f"state={job.state}"]
+            if job.retries:
+                parts.append(f"retries={job.retries}")
+            if job.failures:
+                parts.append(f"error={job.failures[-1]['error']}")
             res = job.result
             if job.state == DONE and job.is_analytics:
                 parts.append(f"supersteps={res['supersteps']}")
                 parts.append(f"modes={mode_trace_summary(res['modes'])}")
                 parts.append(f"checksum={res['checksum']:08x}")
+            elif job.state == DONE and res.get("kind") == "cancel":
+                parts.append(f"outcome={res['outcome']}")
             elif job.state == DONE:
                 if res.get("kind") == "path":
                     parts.append(f"found={res['found']}")

@@ -185,6 +185,31 @@ def test_pool_rejects_single_worker():
         SortReducePool(1)
 
 
+def test_shutdown_kills_hung_workers(monkeypatch):
+    # A worker stuck ignoring SIGTERM (simulating uninterruptible state)
+    # must still be gone after shutdown: sentinel → terminate → kill.
+    import signal
+    import time as _time
+
+    import repro.core.parallel as parallel_mod
+
+    def hung_worker(tasks, results):
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
+        while True:
+            _time.sleep(60)
+
+    monkeypatch.setattr(parallel_mod, "_worker_main", hung_worker)
+    p = SortReducePool(2, inline_records=64)
+    try:
+        p.shutdown(join_timeout_s=0.2)
+    finally:
+        for proc in p._procs:   # belt and braces if the fix ever regresses
+            if proc.is_alive():
+                proc.kill()
+    assert not any(proc.is_alive() for proc in p._procs)
+    assert all(proc.exitcode is not None for proc in p._procs)
+
+
 # ----------------------------------------------------------------- registry
 
 

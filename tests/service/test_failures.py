@@ -1,0 +1,354 @@
+"""Failure domains: per-job fault isolation, deterministic retry/backoff,
+deadlines, cancellation, quarantine, and wear-aware degraded admission."""
+
+import pytest
+
+from repro.flash.device import FlashRecoveryExhaustedError
+from repro.flash.faults import CrashPlan
+from repro.service import (
+    PoisonSpec,
+    ServiceConfig,
+    TenantQuota,
+    demo_quotas,
+    demo_workload,
+)
+
+# --------------------------------------------------------------- scaffolding
+
+POISONED = "svc-10"   # the tenant-C analytics job the chaos workload poisons
+
+
+def chaos_quotas():
+    quotas = demo_quotas()
+    quotas["tC"] = TenantQuota(max_running=1, max_queued=3, max_point=8)
+    return quotas
+
+
+def chaos_workload():
+    """Demo workload plus a third tenant exercising every failure path:
+    a poisoned analytics job, a deadline-bound queued job, a cancelled
+    long run, and a healthy point query that must survive all of it."""
+    return demo_workload() + [
+        "tC:pagerank:iters=2",           # svc-10: poisoned -> quarantined
+        "tC:bfs:deadline=2",             # svc-11: expires while queued
+        "tC:pagerank:iters=6@1",         # svc-12: cancelled mid-flight
+        "tC:cancel:ref=svc-12@3",        # svc-13: the control op
+        "tC:neighborhood:v=1,depth=1",   # svc-14: unaffected bystander
+    ]
+
+
+def poison_config(**kwargs):
+    return ServiceConfig(poison={POISONED: PoisonSpec(superstep=1,
+                                                      attempts=99)}, **kwargs)
+
+
+def run_chaos(make_service, poison=True, **kwargs):
+    service = make_service(quotas=chaos_quotas(),
+                           config=poison_config() if poison
+                           else ServiceConfig(), **kwargs)
+    service.submit_all(chaos_workload())
+    return service, service.run()
+
+
+# ----------------------------------------------------------- fault isolation
+
+def test_poisoned_job_is_quarantined_others_unaffected(make_service):
+    _, clean = run_chaos(make_service, poison=False)
+    _, poisoned = run_chaos(make_service, poison=True)
+    by_line = dict(zip([line.split()[0] for line in clean.trace], clean.trace))
+    for line in poisoned.trace:
+        job_id = line.split()[0]
+        if job_id == POISONED:
+            assert "state=quarantined" in line
+            assert "error=FlashUncorrectableError" in line
+            continue
+        # Every other job's trace line is byte-identical to the fault-free
+        # run — one tenant's flash failure is invisible to the rest.
+        assert line == by_line.get(job_id, clean.trace[-1])
+
+
+def test_failure_record_is_typed_and_journaled(make_service):
+    service, report = run_chaos(make_service)
+    job = next(j for j in report.jobs if j.job_id == POISONED)
+    assert job.state == "quarantined"
+    assert "retries exhausted" in job.reason
+    # Default budget: 2 retries -> 3 attempts, each with a typed record.
+    assert job.retries == 2 and len(job.failures) == 3
+    for attempt, failure in enumerate(job.failures):
+        assert failure["error"] == "FlashUncorrectableError"
+        assert failure["superstep"] == 1
+        assert failure["attempt"] == attempt
+        assert failure["context"]["block"] == 0
+    # ...and the journal round-trips the history durably.
+    import json
+
+    from repro.service.scheduler import JOURNAL_FILE
+
+    state = json.loads(bytes(service.system.store.read(JOURNAL_FILE)))
+    journaled = next(j for j in state["jobs"] if j["job_id"] == POISONED)
+    assert journaled["failures"] == job.failures
+    assert report.failures >= 3 and report.quarantined >= 1
+
+
+def test_retry_resumes_and_matches_fault_free_checksum(make_service):
+    def run_one(config):
+        service = make_service(config=config)
+        service.submit("t0:pagerank:iters=4")
+        return service.run().jobs[0]
+
+    base = run_one(ServiceConfig())
+    # One failure at superstep 3 (after the superstep-2 checkpoint sealed):
+    # the retry resumes from the checkpoint and completes bit-identically.
+    retried = run_one(ServiceConfig(
+        poison={"svc-1": PoisonSpec(superstep=3, attempts=1)}))
+    assert retried.state == "done" and retried.retries == 1
+    assert len(retried.failures) == 1
+    assert retried.result["checksum"] == base.result["checksum"]
+    assert retried.result["supersteps"] == base.result["supersteps"]
+
+
+def test_backoff_charges_simulated_time(make_service):
+    service = make_service(config=ServiceConfig(
+        poison={"svc-1": PoisonSpec(superstep=1, attempts=1)}))
+    before = service.system.clock.busy_s("cpu")
+    service.submit("t0:pagerank:iters=2")
+    report = service.run()
+    assert report.retries == 1
+    assert service.system.clock.busy_s("cpu") > before
+
+
+# ------------------------------------------------------ quarantine reclaims
+
+def test_quarantine_reclaims_flash_and_quota(make_service):
+    service = make_service(config=poison_config())
+    service.submit("tC:pagerank:iters=2")   # svc-1... but poison keys svc-10
+    service.config.poison = {"svc-1": PoisonSpec(superstep=1, attempts=99)}
+    report = service.run()
+    assert report.jobs[0].state == "quarantined"
+    # Flash: nothing but the graph and the job journal survives — run files,
+    # vertex data, checkpoints and values of the quarantined job are gone.
+    leftovers = [name for name in service.system.store.list_files()
+                 if not name.startswith("graph:") and name != "svc:jobs"]
+    assert leftovers == []
+    # Quota: the bandwidth reservation was returned.
+    assert service.controller.reserved == 0.0
+    assert service.controller.utilization() == 0.0
+
+
+def test_quarantine_with_sealed_checkpoint_reclaims_everything(make_service):
+    # Fail at superstep 3 so a checkpoint (superstep 2) exists at abandon
+    # time; retries keep failing, and the final quarantine must reach the
+    # checkpoint-referenced vertex files too.
+    service = make_service(config=ServiceConfig(
+        poison={"svc-1": PoisonSpec(superstep=3, attempts=99)}))
+    service.submit("t0:pagerank:iters=4")
+    report = service.run()
+    assert report.jobs[0].state == "quarantined"
+    leftovers = [name for name in service.system.store.list_files()
+                 if not name.startswith("graph:") and name != "svc:jobs"]
+    assert leftovers == []
+
+
+# ------------------------------------------------------------------ deadlines
+
+def test_deadline_expires_running_analytics(make_service):
+    service = make_service()
+    service.submit("t0:pagerank:iters=8,deadline=2")
+    report = service.run()
+    job = report.jobs[0]
+    assert job.state == "quarantined"
+    assert job.reason == "deadline of 2 rounds exceeded"
+    assert service.controller.reserved == 0.0
+    leftovers = [name for name in service.system.store.list_files()
+                 if not name.startswith("graph:") and name != "svc:jobs"]
+    assert leftovers == []
+
+
+def test_deadline_fails_stuck_point_query(make_service):
+    service = make_service()
+    service.submit("t0:pagerank:iters=6")
+    # vstate blocks on the running job; its deadline fires first.
+    service.submit("t0:vstate:ref=svc-1,v=0,deadline=1")
+    report = service.run()
+    vstate = report.jobs[1]
+    assert vstate.state == "failed"
+    assert "deadline of 1 rounds exceeded" in vstate.reason
+    assert report.jobs[0].state == "done"   # the analytics job is untouched
+
+
+def test_no_deadline_means_no_expiry(make_service):
+    service = make_service()
+    service.submit("t0:pagerank:iters=6")
+    report = service.run()
+    assert report.jobs[0].state == "done"
+
+
+# ---------------------------------------------------------------- cancellation
+
+def test_cancel_running_job(make_service):
+    service = make_service()
+    service.submit("t0:pagerank:iters=8")
+    service.submit("t0:cancel:ref=svc-1@1")
+    report = service.run()
+    target, cancel = report.jobs
+    assert target.state == "cancelled"
+    assert target.reason == "cancelled by svc-2"
+    assert cancel.state == "done"
+    assert cancel.result["outcome"] == "cancelled"
+    assert service.controller.reserved == 0.0
+    leftovers = [name for name in service.system.store.list_files()
+                 if not name.startswith("graph:") and name != "svc:jobs"]
+    assert leftovers == []
+
+
+def test_cancel_queued_job_releases_queue_slot(make_service):
+    quotas = {"t0": TenantQuota(max_running=1, max_queued=1)}
+    service = make_service(quotas=quotas)
+    service.submit("t0:pagerank:iters=6")
+    service.submit("t0:pagerank:iters=6")      # queued behind the first
+    service.submit("t0:cancel:ref=svc-2@1")
+    report = service.run()
+    assert report.jobs[0].state == "done"
+    assert report.jobs[1].state == "cancelled"
+    assert service.controller._usage("t0").queued == 0
+
+
+def test_cancel_before_arrival_leaves_tombstone(make_service):
+    service = make_service()
+    service.submit("t0:bfs@5")
+    service.submit("t0:cancel:ref=svc-1@1")
+    report = service.run()
+    target, cancel = report.jobs
+    assert target.state == "cancelled"
+    assert "before arrival" in target.reason
+    assert cancel.result["outcome"] == "cancelled"
+
+
+def test_cancel_finished_job_is_noop(make_service):
+    service = make_service()
+    service.submit("t0:neighborhood:v=0,depth=1")
+    service.submit("t0:cancel:ref=svc-1@2")
+    report = service.run()
+    assert report.jobs[0].state == "done"
+    assert report.jobs[1].result["outcome"] == "noop"
+
+
+def test_cancel_unknown_ref_fails(make_service):
+    service = make_service()
+    service.submit("t0:cancel:ref=nope")
+    report = service.run()
+    assert report.jobs[0].state == "failed"
+    assert "unknown ref" in report.jobs[0].reason
+
+
+def test_cancel_cross_tenant_is_refused(make_service):
+    service = make_service()
+    service.submit("t0:pagerank:iters=4")
+    service.submit("t1:cancel:ref=svc-1@1")
+    report = service.run()
+    assert report.jobs[0].state == "done"       # untouched
+    cancel = report.jobs[1]
+    assert cancel.state == "failed"
+    assert "belongs to tenant" in cancel.reason
+
+
+# ------------------------------------------------------- degraded admission
+
+def test_degraded_device_shrinks_concurrency(make_service):
+    service = make_service(quotas={"t0": TenantQuota(max_running=2,
+                                                     max_queued=2)})
+    service.controller.wear_probe = lambda: (0.3, 0)   # degraded lifetime
+    service.submit("t0:pagerank:iters=1")
+    service.submit("t0:pagerank:iters=1")
+    report = service.run()
+    # Healthy capacity fits two 0.45 reservations; degraded capacity (0.5x)
+    # fits only one — the second submission is shed, not queued.
+    first, second = report.jobs
+    assert first.state == "done"
+    assert second.state == "rejected" and second.admission == "degraded"
+    assert "degraded" in second.reason
+    assert report.degraded_rejections == 1
+
+
+def test_critical_device_stops_admitting_analytics(make_service):
+    service = make_service()
+    service.controller.wear_probe = lambda: (0.05, 0)  # critical lifetime
+    service.submit("t0:pagerank:iters=1")
+    service.submit("t0:neighborhood:v=0,depth=1")
+    report = service.run()
+    analytics, point = report.jobs
+    assert analytics.state == "rejected" and analytics.admission == "degraded"
+    assert point.state == "done"    # point queries are not derated
+    assert report.degraded_rejections == 1
+
+
+def test_degrading_device_sheds_queued_load(make_service):
+    service = make_service(quotas={"t0": TenantQuota(max_running=1,
+                                                     max_queued=1)})
+    # Healthy at admission time, degraded from round 1 on: the queued run
+    # is shed by promotion instead of waiting for bandwidth forever.
+    service.controller.wear_probe = (
+        lambda: (1.0, 0) if service.round < 1 else (0.3, 64))
+    service.submit("t0:pagerank:iters=4")
+    service.submit("t0:bfs")
+    report = service.run()
+    queued = report.jobs[1]
+    assert queued.admission == "degraded" and queued.state == "rejected"
+    assert "queued load shed" in queued.reason
+    assert service.controller._usage("t0").queued == 0
+
+
+# ------------------------------------------------------------- determinism
+
+@pytest.mark.parametrize("mode", ["sortreduce", "adaptive"])
+def test_chaos_trace_bit_identical_across_workers(make_service, mode):
+    # The determinism contract is per-mode: within one execution mode the
+    # full trace — states, retries, errors, checksums, outcomes — is
+    # bit-identical for any worker count, failures included.
+    _, base = run_chaos(make_service, workers=1, mode=mode)
+    _, other = run_chaos(make_service, workers=4, mode=mode)
+    assert other.trace == base.trace
+    assert "state=quarantined" in next(line for line in base.trace
+                                       if line.startswith(POISONED))
+
+
+@pytest.mark.parametrize("plan", ["seed=3,ops=40", "at=300/1500/4000"])
+def test_chaos_trace_bit_identical_under_power_loss(make_service, plan):
+    _, base = run_chaos(make_service)
+    _, crashed = run_chaos(make_service, crashes=CrashPlan.parse(plan))
+    assert crashed.power_losses > 0
+    assert crashed.trace == base.trace
+
+
+def test_chaos_rerun_is_reproducible(make_service):
+    assert run_chaos(make_service)[1].trace == run_chaos(make_service)[1].trace
+
+
+# ----------------------------------------------------------- typed give-up
+
+def test_recovery_exhaustion_is_typed_with_plan(make_service):
+    # Op 300 fires mid-run (after graph load) on the sortreduce path; with a
+    # zero remount budget the very first recovery attempt must give up with
+    # the typed error.  Mode/workers are pinned — other modes reach op 300
+    # at different points (or not at all on this tiny workload).
+    crashes = CrashPlan.parse("at=300")
+    service = make_service(crashes=crashes, workers=1, mode="sortreduce",
+                           config=ServiceConfig(max_remounts=0))
+    service.submit("t0:pagerank:iters=2")
+    with pytest.raises(FlashRecoveryExhaustedError) as excinfo:
+        service.run()
+    assert "no forward progress" in str(excinfo.value)
+    assert excinfo.value.plan is not None
+
+
+# --------------------------------------------------------- point-query domain
+
+def test_invalid_point_query_fails_alone(make_service, service_graph):
+    service = make_service()
+    bad_vertex = service_graph.num_vertices + 7
+    service.submit(f"t0:neighborhood:v={bad_vertex},depth=1")
+    service.submit("t1:neighborhood:v=0,depth=1")
+    report = service.run()
+    bad, good = report.jobs
+    assert bad.state == "failed" and "invalid query" in bad.reason
+    assert good.state == "done"

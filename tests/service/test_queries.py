@@ -99,11 +99,26 @@ def test_batch_shares_flash_reads(make_service):
     assert batched_bytes < solo_bytes
 
 
-def test_vertex_out_of_range_rejected(make_service):
+def test_vertex_out_of_range_is_per_query_error(make_service):
+    # A bad query is its own failure domain: it gets an error result, the
+    # rest of the batch completes untouched.
     service = make_service()
-    with pytest.raises(ValueError, match="out of range"):
-        run_queries(service, [("q", "neighborhood",
-                               {"v": service.num_vertices, "depth": 1})])
+    results = run_queries(service, [
+        ("bad", "neighborhood", {"v": service.num_vertices, "depth": 1}),
+        ("good", "neighborhood", {"v": 0, "depth": 1}),
+    ])
+    assert "out of range" in results["bad"]["error"]
+    assert results["good"]["count"] >= 1 and "error" not in results["good"]
+    solo = run_queries(make_service(), [("good", "neighborhood",
+                                         {"v": 0, "depth": 1})])
+    assert results["good"] == solo["good"]
+
+
+def test_missing_param_is_per_query_error(make_service):
+    results = run_queries(make_service(), [
+        ("q", "path", {"src": 0}),          # no dst
+    ])
+    assert results["q"]["error"].startswith("KeyError")
 
 
 def test_results_are_json_safe(make_service):
