@@ -16,12 +16,30 @@ The reproduction rests on invariants that no generic linter knows about:
 * every public device operation must charge the ``SimClock``, or the
   performance model silently under-counts (RL006).
 
-Run with ``python -m repro.lint src tests``.  Suppress a finding on one
-line with ``# repro-lint: disable=RL001`` (comma-separate several ids,
-or ``disable=all``).
+On top of the per-file rules, the whole-program **det-flow** pass
+(``detflow.py`` + ``callgraph.py``) taints nondeterminism sources —
+unsorted filesystem listings (RL007), set/dict iteration order and
+``id()``/``hash()`` keys (RL008), pool completion order (RL009), and
+wall-clock/unseeded RNG reached *transitively* through calls (RL010) —
+and reports when taint reaches a determinism sink: ``SimClock.charge*``,
+journal/checkpoint writes, trace/report/checksum construction, sort-reduce
+key material, or run naming.  RL100 flags suppression comments that no
+longer suppress anything.
+
+Run with ``python -m repro.lint src tests --format json``.  Suppress a
+finding on one line with ``# repro-lint: disable=RL001`` (comma-separate
+several ids, or ``disable=all``); accepted pre-existing findings live in
+the committed baseline (``--baseline`` / ``--write-baseline``), and
+``--explain RLxxx`` prints a rule's full rationale.
 """
 
-from repro.lint.engine import Violation, lint_paths, lint_source, main
+from repro.lint.engine import (
+    Violation,
+    lint_paths,
+    lint_source,
+    lint_sources,
+    main,
+)
 from repro.lint.rules import ALL_RULES, Rule
 
 __all__ = [
@@ -30,5 +48,6 @@ __all__ = [
     "Violation",
     "lint_paths",
     "lint_source",
+    "lint_sources",
     "main",
 ]
